@@ -1,0 +1,121 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary does two things:
+//   1. registers google-benchmark entries whose reported time is the
+//      *simulated* latency (manual time, one deterministic iteration), and
+//   2. after the run, prints the paper-figure table (rows = message sizes,
+//      columns = configurations) plus a CSV block, built from the results
+//      collected while the benchmarks executed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/measure.hpp"
+#include "core/tuner.hpp"
+#include "util/table.hpp"
+
+namespace dpml::benchx {
+
+// The paper's microbenchmark x-axis: 4B .. 1MB in 4x steps.
+inline std::vector<std::size_t> paper_sizes() {
+  return {4,     16,    64,     256,    1024,   4096,
+          16384, 65536, 262144, 524288, 1048576};
+}
+
+inline core::MeasureOptions default_opts() {
+  core::MeasureOptions o;
+  o.iterations = 3;
+  o.warmup = 1;
+  return o;
+}
+
+// Ordered (row x column) -> value store filled during benchmark execution.
+class SeriesStore {
+ public:
+  void put(const std::string& row, const std::string& col, double v) {
+    if (values_.emplace(std::make_pair(row, col), v).second) {
+      if (row_index_.emplace(row, rows_.size()).second) rows_.push_back(row);
+      if (col_index_.emplace(col, cols_.size()).second) cols_.push_back(col);
+    } else {
+      values_[std::make_pair(row, col)] = v;
+    }
+  }
+
+  bool empty() const { return values_.empty(); }
+
+  double at(const std::string& row, const std::string& col) const {
+    return values_.at(std::make_pair(row, col));
+  }
+
+  // Aligned table plus CSV, both to stdout.
+  void print(const std::string& title, const std::string& row_header,
+             int precision = 2) const {
+    std::vector<std::string> header{row_header};
+    header.insert(header.end(), cols_.begin(), cols_.end());
+    util::Table t(header);
+    for (const auto& row : rows_) {
+      t.row().cell(row);
+      for (const auto& col : cols_) {
+        auto it = values_.find(std::make_pair(row, col));
+        if (it == values_.end()) {
+          t.cell(std::string("-"));
+        } else {
+          t.cell(it->second, precision);
+        }
+      }
+    }
+    std::cout << "\n## " << title << "\n\n";
+    t.print(std::cout);
+    std::cout << "\n### CSV\n";
+    t.print_csv(std::cout);
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> values_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> cols_;
+  std::map<std::string, std::size_t> row_index_;
+  std::map<std::string, std::size_t> col_index_;
+};
+
+// Register a single-iteration manual-time benchmark that evaluates `fn`
+// (microseconds of simulated time) and records it in `store`.
+inline void register_point(const std::string& name, SeriesStore& store,
+                           const std::string& row, const std::string& col,
+                           std::function<double()> fn) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&store, row, col, fn](benchmark::State& st) {
+        const double us = fn();
+        for (auto _ : st) {
+          st.SetIterationTime(us * 1e-6);
+        }
+        store.put(row, col, us);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMicrosecond);
+}
+
+// Convenience: latency of one allreduce spec (microseconds).
+inline double latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
+                         std::size_t bytes, const core::AllreduceSpec& spec) {
+  return core::measure_allreduce(cfg, nodes, ppn, bytes, spec, default_opts())
+      .avg_us;
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dpml::benchx

@@ -1,0 +1,119 @@
+// Extension bench (paper §8 future work): applying the multi-leader /
+// shared-memory treatment to other collectives. Compares rooted-reduce and
+// broadcast designs on cluster B at 16x28.
+//
+// Expected shapes: binomial wins small messages; for large messages the
+// bandwidth-optimal flat designs (rsa-gather / scatter-allgather) beat
+// binomial, and the hierarchical designs beat flat at full subscription for
+// the same NIC-pressure reason as allreduce; DPML-reduce adds the
+// parallel-compute advantage on top.
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "coll/bcast.hpp"
+#include "coll/reduce.hpp"
+#include "net/cluster.hpp"
+#include "simmpi/machine.hpp"
+
+namespace {
+
+using namespace dpml;
+
+// Latency of one rooted reduce with the given design.
+double reduce_latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
+                         std::size_t bytes, coll::ReduceAlgo algo,
+                         int leaders) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  simmpi::Machine m(cfg, nodes, ppn, opt);
+  m.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    coll::ReduceArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.root = 0;
+    a.count = bytes / 4;
+    a.inplace = true;
+    coll::DpmlParams dp;
+    dp.leaders = leaders;
+    co_await coll::reduce(a, algo, dp);
+  });
+  return sim::to_us(m.now());
+}
+
+double bcast_latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
+                        std::size_t bytes, coll::BcastAlgo algo) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  simmpi::Machine m(cfg, nodes, ppn, opt);
+  m.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    coll::BcastArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.root = 0;
+    a.bytes = bytes;
+    co_await coll::bcast(a, algo);
+  });
+  return sim::to_us(m.now());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = net::cluster_b();
+  const int nodes = 16;
+  const int ppn = 28;
+  static benchx::SeriesStore reduce_store;
+  static benchx::SeriesStore bcast_store;
+
+  struct RAlgo {
+    const char* label;
+    coll::ReduceAlgo algo;
+    int leaders;
+  };
+  const RAlgo ralgos[] = {
+      {"binomial", coll::ReduceAlgo::binomial, 1},
+      {"rsa-gather", coll::ReduceAlgo::rsa_gather, 1},
+      {"single-leader", coll::ReduceAlgo::single_leader, 1},
+      {"dpml(l=8)", coll::ReduceAlgo::dpml, 8},
+      {"dpml(l=16)", coll::ReduceAlgo::dpml, 16},
+  };
+  struct BAlgo {
+    const char* label;
+    coll::BcastAlgo algo;
+  };
+  const BAlgo balgos[] = {
+      {"binomial", coll::BcastAlgo::binomial},
+      {"scatter-allgather", coll::BcastAlgo::scatter_allgather},
+      {"single-leader", coll::BcastAlgo::single_leader},
+  };
+
+  for (std::size_t bytes : benchx::paper_sizes()) {
+    const std::string row = util::format_bytes(bytes);
+    for (const RAlgo& ra : ralgos) {
+      benchx::register_point(
+          std::string("ext-reduce/bytes:") + row + "/" + ra.label,
+          reduce_store, row, ra.label, [=]() {
+            return reduce_latency_us(cfg, nodes, ppn, bytes, ra.algo,
+                                     ra.leaders);
+          });
+    }
+    for (const BAlgo& ba : balgos) {
+      benchx::register_point(
+          std::string("ext-bcast/bytes:") + row + "/" + ba.label, bcast_store,
+          row, ba.label, [=]() {
+            return bcast_latency_us(cfg, nodes, ppn, bytes, ba.algo);
+          });
+    }
+  }
+
+  const int rc = benchx::run_benchmarks(argc, argv);
+  reduce_store.print(
+      "Extension — MPI_Reduce designs, latency (us), cluster B, 16x28",
+      "msg size");
+  bcast_store.print(
+      "Extension — MPI_Bcast designs, latency (us), cluster B, 16x28",
+      "msg size");
+  return rc;
+}

@@ -1,0 +1,9 @@
+// Figure 4: leader-count sweep at 448 processes on cluster A (16 nodes,
+// 28 ppn, Xeon + EDR InfiniBand).
+#include "bench/leader_sweep.hpp"
+#include "net/cluster.hpp"
+
+int main(int argc, char** argv) {
+  return dpml::benchx::run_leader_sweep("Fig 4", dpml::net::cluster_a(), 16,
+                                        28, argc, argv);
+}

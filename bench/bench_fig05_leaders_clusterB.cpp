@@ -1,0 +1,9 @@
+// Figure 5: leader-count sweep at 1,792 processes on cluster B (64 nodes,
+// 28 ppn, Xeon + EDR InfiniBand).
+#include "bench/leader_sweep.hpp"
+#include "net/cluster.hpp"
+
+int main(int argc, char** argv) {
+  return dpml::benchx::run_leader_sweep("Fig 5", dpml::net::cluster_b(), 64,
+                                        28, argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 6: leader-count sweep at 1,792 processes on cluster C (64 nodes,
+// 28 ppn, Xeon + Omni-Path).
+#include "bench/leader_sweep.hpp"
+#include "net/cluster.hpp"
+
+int main(int argc, char** argv) {
+  return dpml::benchx::run_leader_sweep("Fig 6", dpml::net::cluster_c(), 64,
+                                        28, argc, argv);
+}

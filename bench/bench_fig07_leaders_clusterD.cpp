@@ -1,0 +1,9 @@
+// Figure 7: leader-count sweep at 1,024 processes on cluster D (32 nodes,
+// 32 ppn, KNL + Omni-Path).
+#include "bench/leader_sweep.hpp"
+#include "net/cluster.hpp"
+
+int main(int argc, char** argv) {
+  return dpml::benchx::run_leader_sweep("Fig 7", dpml::net::cluster_d(), 32,
+                                        32, argc, argv);
+}

@@ -1,0 +1,70 @@
+// Quickstart: simulate a cluster, run one DPML allreduce with real data,
+// verify the result, and compare a few designs.
+//
+//   $ ./quickstart [cluster] [nodes] [ppn] [bytes]
+//   $ ./quickstart B 8 28 65536
+//
+// Walks through the three core pieces of the library:
+//   1. net::ClusterConfig       — pick/shape a simulated platform
+//   2. core::measure_allreduce  — run + time + verify a collective design
+//   3. core::AllreduceSpec      — choose algorithms and DPML parameters
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/measure.hpp"
+#include "net/cluster.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpml;
+
+  const std::string cluster = argc > 1 ? argv[1] : "B";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int ppn = argc > 3 ? std::atoi(argv[3]) : 28;
+  const std::size_t bytes = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                     : 64 * 1024;
+
+  const net::ClusterConfig cfg = net::cluster_by_name(cluster);
+  std::cout << "Simulated platform: cluster " << cfg.name << " — " << nodes
+            << " nodes x " << ppn << " ppn = " << nodes * ppn
+            << " ranks, message " << util::format_bytes(bytes) << "B\n\n";
+
+  // Run with real data flowing through the reduction so the result is
+  // verified bit-for-bit against a serial reference.
+  core::MeasureOptions opt;
+  opt.with_data = true;
+  opt.iterations = 5;
+  opt.warmup = 2;
+
+  util::Table table({"design", "avg latency (us)", "verified"});
+  for (int leaders : {1, 2, 4, 8, 16}) {
+    core::AllreduceSpec spec;
+    spec.algo = core::Algorithm::dpml;
+    spec.leaders = leaders;
+    const auto r = core::measure_allreduce(cfg, nodes, ppn, bytes, spec, opt);
+    table.row()
+        .cell(spec.label())
+        .cell(r.avg_us, 2)
+        .cell(std::string(r.verified ? "yes" : "NO"));
+    if (!r.verified) return 1;
+  }
+  for (core::Algorithm algo :
+       {core::Algorithm::mvapich2, core::Algorithm::intelmpi,
+        core::Algorithm::recursive_doubling}) {
+    core::AllreduceSpec spec;
+    spec.algo = algo;
+    const auto r = core::measure_allreduce(cfg, nodes, ppn, bytes, spec, opt);
+    table.row()
+        .cell(spec.label())
+        .cell(r.avg_us, 2)
+        .cell(std::string(r.verified ? "yes" : "NO"));
+    if (!r.verified) return 1;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAll designs produced bit-identical, verified results.\n"
+            << "Note how more leaders help for medium/large messages — the\n"
+            << "paper's Data Partitioning-based Multi-Leader effect.\n";
+  return 0;
+}

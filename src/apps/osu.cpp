@@ -1,0 +1,91 @@
+#include "apps/osu.hpp"
+
+#include <algorithm>
+
+#include "simmpi/machine.hpp"
+#include "util/error.hpp"
+
+namespace dpml::apps {
+
+using simmpi::Machine;
+using simmpi::Rank;
+
+MbwMrResult osu_mbw_mr(const net::ClusterConfig& cfg, const MbwMrOptions& opt) {
+  DPML_CHECK(opt.pairs >= 1 && opt.window >= 1 && opt.iterations >= 1);
+  simmpi::RunOptions ropt;
+  ropt.with_data = false;
+  const int nodes = opt.intra_node ? 1 : 2;
+  const int ppn = opt.intra_node ? 2 * opt.pairs : opt.pairs;
+  DPML_CHECK_MSG(ppn <= cfg.max_ppn(),
+                 "too many pairs for this cluster's node width");
+  Machine m(cfg, nodes, ppn, ropt);
+  const int total_msgs = opt.window * opt.iterations;
+
+  m.run([&](Rank& r) -> sim::CoTask<void> {
+    // Sender i pairs with receiver i: on one node (senders = even locals
+    // paired with odd) or across two nodes (local i -> local i).
+    const int pairs = opt.pairs;
+    int peer = -1;
+    bool sender = false;
+    if (opt.intra_node) {
+      sender = r.local_rank() < pairs;
+      peer = sender ? r.local_rank() + pairs : r.local_rank() - pairs;
+    } else {
+      sender = r.node_id() == 0;
+      peer = sender ? m.ppn() + r.local_rank() : r.local_rank();
+    }
+    if (sender) {
+      for (int i = 0; i < total_msgs; ++i) {
+        co_await r.send(m.world(), peer, 0, opt.bytes);
+      }
+    } else {
+      for (int i = 0; i < total_msgs; ++i) {
+        co_await r.recv(m.world(), peer, 0, opt.bytes);
+      }
+    }
+  });
+
+  MbwMrResult res;
+  res.seconds = sim::to_seconds(m.now());
+  const double total_bytes = static_cast<double>(opt.bytes) * total_msgs *
+                             opt.pairs;
+  res.mb_per_s = total_bytes / res.seconds / 1e6;
+  res.msg_per_s = static_cast<double>(total_msgs) * opt.pairs / res.seconds;
+  return res;
+}
+
+double osu_latency(const net::ClusterConfig& cfg, std::size_t bytes,
+                   bool intra_node, int iterations) {
+  DPML_CHECK(iterations >= 1);
+  simmpi::RunOptions ropt;
+  ropt.with_data = false;
+  // Intra-node pairs sit on the same socket (locals 0 and 1 at ppn >= 4).
+  Machine m(cfg, intra_node ? 1 : 2,
+            intra_node ? std::min(4, cfg.max_ppn()) : 1, ropt);
+  m.run([&](Rank& r) -> sim::CoTask<void> {
+    if (r.world_rank() > 1) co_return;
+    for (int i = 0; i < iterations; ++i) {
+      if (r.world_rank() == 0) {
+        co_await r.send(m.world(), 1, 0, bytes);
+        co_await r.recv(m.world(), 1, 1, bytes);
+      } else {
+        co_await r.recv(m.world(), 0, 0, bytes);
+        co_await r.send(m.world(), 0, 1, bytes);
+      }
+    }
+  });
+  return sim::to_seconds(m.now()) / (2.0 * iterations);
+}
+
+double relative_throughput(const net::ClusterConfig& cfg, int pairs,
+                           std::size_t bytes, bool intra_node) {
+  MbwMrOptions one;
+  one.pairs = 1;
+  one.bytes = bytes;
+  one.intra_node = intra_node;
+  MbwMrOptions many = one;
+  many.pairs = pairs;
+  return osu_mbw_mr(cfg, many).mb_per_s / osu_mbw_mr(cfg, one).mb_per_s;
+}
+
+}  // namespace dpml::apps

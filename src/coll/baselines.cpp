@@ -1,0 +1,31 @@
+#include "coll/baselines.hpp"
+
+#include <utility>
+
+#include "coll/dpml.hpp"
+
+namespace dpml::coll {
+
+sim::CoTask<void> allreduce_mvapich2(CollArgs a) {
+  const std::size_t nbytes = a.bytes();
+  if (nbytes <= kMvapich2FlatThreshold) {
+    return allreduce_single_leader(std::move(a), InterAlgo::automatic);
+  }
+  return allreduce_reduce_scatter_allgather(std::move(a));
+}
+
+sim::CoTask<void> allreduce_intelmpi(CollArgs a) {
+  const std::size_t nbytes = a.bytes();
+  if (nbytes <= kIntelMpiStripeThreshold) {
+    return allreduce_single_leader(std::move(a), InterAlgo::automatic);
+  }
+  DpmlParams p;
+  // Fixed 8-way node striping regardless of message size or platform — the
+  // untuned configuration DPML's per-size leader selection improves on.
+  p.leaders = std::min(8, a.rank->machine().ppn());
+  p.pipeline_k = 1;
+  p.inter = InterAlgo::reduce_scatter_allgather;
+  return allreduce_dpml(std::move(a), p);
+}
+
+}  // namespace dpml::coll

@@ -1,0 +1,33 @@
+// State-of-the-art library baselines (paper §6.4).
+//
+// The paper compares DPML against the algorithm each production library's
+// auto-selection picks. We re-implement those selection stacks from the
+// libraries' documented behaviour; see DESIGN.md for the substitution note.
+//
+//  * allreduce_mvapich2 — MVAPICH2-2.2-like: shared-memory single-leader
+//    hierarchy for small/medium messages, flat reduce-scatter+allgather over
+//    all ranks for large messages. The flat large-message path floods each
+//    node's NIC with ppn concurrent streams, which is exactly the weakness
+//    Figures 9/10 expose at scale.
+//
+//  * allreduce_intelmpi — Intel-MPI-2017-like: single-leader hierarchy for
+//    small/medium; for large messages a node-striped two-level
+//    reduce-scatter+allgather with a fixed 8-way stripe split. Strong
+//    bandwidth behaviour (much better than the flat path at scale), but the
+//    fixed, untuned stripe count loses to DPML's per-size leader selection
+//    in both the medium (latency-dominated) and very-large (compute-bound)
+//    regimes.
+#pragma once
+
+#include "coll/coll.hpp"
+
+namespace dpml::coll {
+
+sim::CoTask<void> allreduce_mvapich2(CollArgs a);
+sim::CoTask<void> allreduce_intelmpi(CollArgs a);
+
+// Selection thresholds (exposed for tests and benches).
+inline constexpr std::size_t kMvapich2FlatThreshold = 16 * 1024;
+inline constexpr std::size_t kIntelMpiStripeThreshold = 8 * 1024;
+
+}  // namespace dpml::coll

@@ -1,0 +1,41 @@
+// Broadcast algorithms.
+//
+// Substrate for the hierarchical designs (phase-4 of single-leader allreduce
+// is a broadcast) and part of the paper's stated future work: applying the
+// multi-leader/shared-memory treatment to other collectives. Three designs:
+//
+//  * binomial            — classic lg(p) tree (small messages)
+//  * scatter_allgather   — van de Geijn: binomial scatter + ring allgather
+//                          (large messages; bandwidth-optimal)
+//  * single_leader       — shm-hierarchical: inter-node bcast among node
+//                          leaders, shared-memory broadcast within the node
+#pragma once
+
+#include "coll/coll.hpp"
+
+namespace dpml::coll {
+
+struct BcastArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  int root = 0;           // comm rank holding the payload
+  std::size_t bytes = 0;
+  MutBytes buf{};         // in/out: valid at root, filled elsewhere
+  int tag_base = 0;
+
+  void check() const;
+};
+
+enum class BcastAlgo { binomial, scatter_allgather, single_leader, automatic };
+
+const char* bcast_algo_name(BcastAlgo a);
+
+sim::CoTask<void> bcast(BcastArgs a, BcastAlgo algo = BcastAlgo::automatic);
+
+sim::CoTask<void> bcast_binomial(BcastArgs a);
+sim::CoTask<void> bcast_scatter_allgather(BcastArgs a);
+// Requires the world communicator (leaders are per-node); root must be a
+// node leader's world rank or the payload is first forwarded to one.
+sim::CoTask<void> bcast_single_leader(BcastArgs a);
+
+}  // namespace dpml::coll

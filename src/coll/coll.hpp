@@ -1,0 +1,90 @@
+// Common definitions for collective algorithms.
+//
+// Every algorithm is a coroutine invoked by all participating ranks with
+// identical arguments (SPMD style, like an MPI collective). Buffers may be
+// empty in metadata-only runs; simulated time is charged identically either
+// way. All reduction operators are assumed associative and commutative (as
+// the paper's MPI_SUM / MPI_FLOAT evaluation setup is).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/datatype.hpp"
+#include "simmpi/machine.hpp"
+
+namespace dpml::coll {
+
+using simmpi::Comm;
+using simmpi::ConstBytes;
+using simmpi::Dtype;
+using simmpi::MutBytes;
+using simmpi::Op;
+using simmpi::Rank;
+
+struct CollArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  std::size_t count = 0;
+  Dtype dt = Dtype::f32;
+  Op op = simmpi::ReduceOp::sum;
+  ConstBytes send{};  // empty in metadata-only runs, or when in-place
+  MutBytes recv{};
+  int tag_base = 0;     // tag namespace for concurrent sub-collectives
+  bool inplace = false; // recv already holds the input vector (MPI_IN_PLACE)
+
+  std::size_t bytes() const { return count * simmpi::dtype_size(dt); }
+  // Allocate a scratch buffer honouring the machine's data mode.
+  std::vector<std::byte> scratch(std::size_t nbytes) const;
+  // Validate the SPMD invariants; called at algorithm entry.
+  void check() const;
+};
+
+// Block partition of `count` elements into `parts` pieces; the remainder is
+// spread over the first `count % parts` pieces (ragged partitions).
+struct Part {
+  std::size_t offset = 0;  // element offset
+  std::size_t count = 0;   // element count
+};
+Part partition(std::size_t count, int parts, int index);
+
+// Inter-node allreduce algorithm selector for the hierarchical designs'
+// phase 3 (and the flat baselines themselves).
+enum class InterAlgo {
+  recursive_doubling,
+  reduce_scatter_allgather,
+  ring,
+  binomial,
+  automatic,  // library-style choice by message size / comm size
+};
+
+const char* inter_algo_name(InterAlgo a);
+
+// Span helpers tolerating empty (metadata-only) spans.
+inline ConstBytes sub(ConstBytes b, std::size_t off, std::size_t len) {
+  return b.empty() ? b : b.subspan(off, len);
+}
+inline MutBytes sub(MutBytes b, std::size_t off, std::size_t len) {
+  return b.empty() ? b : b.subspan(off, len);
+}
+inline ConstBytes as_const(MutBytes b) { return ConstBytes{b.data(), b.size()}; }
+
+// Charge (and in data mode perform) the initial sendbuf -> recvbuf copy.
+sim::CoTask<void> copy_in(const CollArgs& a);
+
+// ---- Flat algorithms (any communicator; callers not in comm return) ----
+sim::CoTask<void> allreduce_recursive_doubling(CollArgs a);
+sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a);
+sim::CoTask<void> allreduce_ring(CollArgs a);
+sim::CoTask<void> allreduce_binomial(CollArgs a);
+// Naive gather+reduce+bcast at comm rank 0 (reference baseline).
+sim::CoTask<void> allreduce_gather_bcast(CollArgs a);
+
+// Dispatch on InterAlgo (automatic applies the standard size-based choice).
+sim::CoTask<void> inter_allreduce(CollArgs a, InterAlgo algo);
+// The choice `automatic` resolves to for a given (bytes, comm size).
+InterAlgo resolve_auto(std::size_t bytes, int comm_size);
+
+}  // namespace dpml::coll

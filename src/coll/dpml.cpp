@@ -1,0 +1,223 @@
+#include "coll/dpml.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpml::coll {
+
+using simmpi::CollSlot;
+using simmpi::Machine;
+using simmpi::ShmWindow;
+
+namespace {
+
+ConstBytes input_of(const CollArgs& a) {
+  return a.inplace ? as_const(a.recv) : a.send;
+}
+
+// Tag namespace for the inter-node phase, derived from the collective's
+// per-(rank,context) sequence number so concurrent invocations (e.g.
+// several outstanding non-blocking allreduces) never cross-match on the
+// shared leader communicators. 2048 tags per invocation covers the
+// pipelined variant's k*128 chunk space.
+int inner_tag_base(std::int64_t slot_key) {
+  return static_cast<int>((slot_key & 0x3ff)) * 2048;
+}
+
+void require_world(const CollArgs& a) {
+  DPML_CHECK_MSG(a.comm->context() == a.rank->machine().world().context(),
+                 "hierarchical allreduce designs run on the world "
+                 "communicator (leaders are per-node entities)");
+}
+
+}  // namespace
+
+sim::CoTask<void> allreduce_single_leader(CollArgs a, InterAlgo inter) {
+  a.check();
+  require_world(a);
+  Rank& r = *a.rank;
+  Machine& m = r.machine();
+  const int ppn = m.ppn();
+  const int h = m.num_nodes();
+  const std::size_t nbytes = a.bytes();
+
+  if (ppn == 1) {
+    // Degenerate hierarchy: every rank is its own leader.
+    co_await inter_allreduce(std::move(a), inter);
+    co_return;
+  }
+
+  const std::int64_t key = r.next_coll_key(a.comm->context());
+  CollSlot& slot = r.node().slot(key);
+  if (!slot.initialized) {
+    // windows[0]: gather staging for the ppn-1 non-leader vectors;
+    // windows[1]: the broadcast buffer holding the final result.
+    slot.windows.emplace_back(static_cast<std::size_t>(ppn - 1) * nbytes,
+                              m.socket_of_local(0), m.with_data());
+    slot.windows.emplace_back(nbytes, m.socket_of_local(0), m.with_data());
+    slot.latches.emplace_back(r.engine(), ppn - 1);
+    slot.flags.emplace_back(r.engine());
+    slot.initialized = true;
+  }
+  ShmWindow& gather = slot.windows[0];
+  ShmWindow& result = slot.windows[1];
+  sim::Latch& gathered = slot.latches[0];
+  sim::Flag& published = slot.flags[0];
+
+  if (r.local_rank() == 0) {
+    co_await copy_in(a);  // leader's own contribution lands in recv
+    co_await gathered.wait();
+    co_await r.compute(m.collection_cost(0, 0, ppn));
+    co_await r.reduce_compute(static_cast<std::size_t>(ppn - 1) * nbytes);
+    if (gather.has_data() && !a.recv.empty()) {
+      for (int i = 0; i < ppn - 1; ++i) {
+        a.op.apply(a.dt, a.count, a.recv,
+                   gather.data().subspan(static_cast<std::size_t>(i) * nbytes,
+                                         nbytes));
+      }
+    }
+    if (h > 1) {
+      CollArgs ia = a;
+      ia.comm = &m.leader_comm(0, 1);
+      ia.send = {};
+      ia.inplace = true;
+      ia.tag_base = inner_tag_base(key);
+      co_await inter_allreduce(std::move(ia), inter);
+    }
+    co_await r.shm_put(result, 0, nbytes, as_const(a.recv));
+    co_await r.signal(published);
+  } else {
+    co_await r.shm_put(gather,
+                       static_cast<std::size_t>(r.local_rank() - 1) * nbytes,
+                       nbytes, input_of(a));
+    co_await r.signal(gathered);
+    co_await published.wait();
+    co_await r.shm_get(result, 0, nbytes, a.recv);
+  }
+  r.node().release_slot(key, ppn);
+}
+
+sim::CoTask<void> allreduce_dpml(CollArgs a, DpmlParams params) {
+  a.check();
+  require_world(a);
+  DPML_CHECK_MSG(params.pipeline_k >= 1, "pipeline_k must be >= 1");
+  Rank& r = *a.rank;
+  Machine& m = r.machine();
+  const int ppn = m.ppn();
+  const int h = m.num_nodes();
+  const int l = std::clamp(params.leaders, 1, ppn);
+  const int k = params.pipeline_k;
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+
+  if (ppn == 1) {
+    co_await inter_allreduce(std::move(a), params.inter);
+    co_return;
+  }
+
+  const std::int64_t key = r.next_coll_key(a.comm->context());
+  CollSlot& slot = r.node().slot(key);
+  if (!slot.initialized) {
+    // Per leader j: windows[2j] = gather staging (ppn stripes of the j-th
+    // partition), windows[2j+1] = result buffer; flags[j] = result ready.
+    for (int j = 0; j < l; ++j) {
+      const Part pj = partition(a.count, l, j);
+      const std::size_t pbytes = pj.count * esize;
+      const int owner = m.socket_of_local(m.leader_local_rank(j, l));
+      slot.windows.emplace_back(static_cast<std::size_t>(ppn) * pbytes, owner,
+                                m.with_data());
+      slot.windows.emplace_back(pbytes, owner, m.with_data());
+      slot.flags.emplace_back(r.engine());
+    }
+    // One latch: every rank arrives once after writing all l partitions.
+    slot.latches.emplace_back(r.engine(), ppn);
+    slot.initialized = true;
+  }
+  sim::Latch& gathered = slot.latches[0];
+
+  // ---- Phase 1: partition the input and copy into each leader's window.
+  const ConstBytes input = input_of(a);
+  for (int j = 0; j < l; ++j) {
+    const Part pj = partition(a.count, l, j);
+    const std::size_t pbytes = pj.count * esize;
+    co_await r.shm_put(slot.windows[2 * j],
+                       static_cast<std::size_t>(r.local_rank()) * pbytes,
+                       pbytes, sub(input, pj.offset * esize, pbytes));
+  }
+  co_await r.signal(gathered);
+
+  const int my_leader = m.leader_index_of_local(r.local_rank(), l);
+  std::vector<std::byte> part_store;
+  if (my_leader >= 0) {
+    const int j = my_leader;
+    const Part pj = partition(a.count, l, j);
+    const std::size_t pbytes = pj.count * esize;
+    ShmWindow& gather = slot.windows[2 * j];
+    ShmWindow& result = slot.windows[2 * j + 1];
+
+    // ---- Phase 2: reduce the ppn stripes of partition j in parallel with
+    // the other leaders. The leader pays a per-contributor collection cost
+    // (the stripes were written by every local rank, both sockets).
+    co_await gathered.wait();
+    co_await r.compute(m.collection_cost(r.local_rank(), 0, ppn));
+    part_store = a.scratch(pbytes);
+    MutBytes part{part_store};
+    if (gather.has_data() && pbytes > 0) {
+      std::memcpy(part.data(), gather.data().data(), pbytes);
+      for (int i = 1; i < ppn; ++i) {
+        a.op.apply(a.dt, pj.count, part,
+                   gather.data().subspan(static_cast<std::size_t>(i) * pbytes,
+                                         pbytes));
+      }
+    }
+    co_await r.reduce_compute(static_cast<std::size_t>(ppn - 1) * pbytes);
+
+    // ---- Phase 3: concurrent inter-node allreduce per leader group.
+    if (h > 1) {
+      CollArgs ia = a;
+      ia.comm = &m.leader_comm(j, l);
+      ia.count = pj.count;
+      ia.send = {};
+      ia.recv = part;
+      ia.inplace = true;
+      if (k == 1) {
+        ia.tag_base = inner_tag_base(key);
+        co_await inter_allreduce(std::move(ia), params.inter);
+      } else {
+        // DPML-Pipelined: k concurrent non-blocking sub-allreduces.
+        std::vector<std::shared_ptr<sim::Flag>> pending;
+        pending.reserve(static_cast<std::size_t>(k));
+        for (int q = 0; q < k; ++q) {
+          const Part cq = partition(pj.count, k, q);
+          CollArgs ca = ia;
+          ca.count = cq.count;
+          ca.recv = sub(part, cq.offset * esize, cq.count * esize);
+          ca.tag_base = inner_tag_base(key) + q * 128;
+          pending.push_back(r.engine().spawn_sub(
+              inter_allreduce(std::move(ca), params.inter)));
+        }
+        co_await sim::wait_all(std::move(pending));
+      }
+    }
+
+    // Publish the fully reduced partition for phase 4.
+    co_await r.shm_put(result, 0, pbytes, as_const(part));
+    co_await r.signal(slot.flags[j]);
+  }
+
+  // ---- Phase 4: every rank copies each partition's result back.
+  for (int j = 0; j < l; ++j) {
+    const Part pj = partition(a.count, l, j);
+    const std::size_t pbytes = pj.count * esize;
+    co_await slot.flags[j].wait();
+    co_await r.shm_get(slot.windows[2 * j + 1], 0, pbytes,
+                       sub(a.recv, pj.offset * esize, pbytes));
+  }
+  r.node().release_slot(key, ppn);
+}
+
+}  // namespace dpml::coll

@@ -1,0 +1,41 @@
+// Hierarchical allreduce designs (paper §4).
+//
+//  * allreduce_single_leader — the traditional one-leader-per-node scheme
+//    MVAPICH2-style: shm gather to the node leader, leader-only inter-node
+//    allreduce, shm broadcast. This is the design whose drawbacks (serial
+//    (ppn-1)·n reduction, one inter-node stream per node) DPML removes.
+//
+//  * allreduce_dpml — Data Partitioning-based Multi-Leader (paper §4.1):
+//    every rank splits its vector into `leaders` partitions and copies each
+//    into the owning leader's shared-memory window (phase 1); leaders reduce
+//    their partition across all local ranks in parallel (phase 2); each
+//    leader runs a concurrent inter-node allreduce with its peers on other
+//    nodes (phase 3); ranks copy the fully-reduced partitions back (phase 4).
+//
+//  * pipeline_k > 1 selects DPML-Pipelined (paper §4.2): phase 3 further
+//    splits each leader's partition into k sub-partitions moved by
+//    non-blocking allreduces + waitall, regaining message-rate concurrency
+//    on fabrics whose large-message throughput does not scale (Omni-Path
+//    Zone C).
+//
+// Both hierarchical designs require the collective to run on the machine's
+// world communicator (leaders are per-node entities), like the paper's
+// implementation inside MVAPICH2's shared-memory communicator structure.
+#pragma once
+
+#include "coll/coll.hpp"
+
+namespace dpml::coll {
+
+struct DpmlParams {
+  int leaders = 1;       // clamped to ppn
+  int pipeline_k = 1;    // >1 => DPML-Pipelined
+  InterAlgo inter = InterAlgo::automatic;
+};
+
+sim::CoTask<void> allreduce_single_leader(CollArgs a,
+                                          InterAlgo inter = InterAlgo::automatic);
+
+sim::CoTask<void> allreduce_dpml(CollArgs a, DpmlParams params);
+
+}  // namespace dpml::coll

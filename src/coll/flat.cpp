@@ -1,0 +1,342 @@
+// Flat (non-hierarchical) allreduce algorithms.
+//
+// These are the classic algorithms from Rabenseifner'04 / Thakur'05 that MPI
+// libraries ship: recursive doubling, reduce-scatter + allgather (recursive
+// halving/doubling), ring, binomial reduce+bcast, and a naive gather+bcast
+// reference. They serve three roles in this reproduction: (1) the paper's
+// baselines, (2) the inter-node phase-3 building block of DPML, and (3)
+// correctness cross-checks for each other.
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "util/error.hpp"
+
+namespace dpml::coll {
+
+namespace {
+
+int floor_pow2(int p) {
+  int v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+// Tag layout within one collective invocation: each algorithm uses
+// [tag_base, tag_base + 128) and steps stay well below 128.
+constexpr int kEpilogueTag = 120;
+
+// Exchange full vectors with `partner` and fold the incoming one into
+// a.recv (commutative op). Uses isend+recv to avoid rendezvous deadlock on
+// symmetric exchanges.
+sim::CoTask<void> exchange_reduce(const CollArgs& a, int partner, int tag,
+                                  MutBytes tmp) {
+  Rank& r = *a.rank;
+  const std::size_t nbytes = a.bytes();
+  auto sf = r.isend(*a.comm, partner, tag, nbytes, as_const(a.recv));
+  co_await r.recv(*a.comm, partner, tag, nbytes, tmp);
+  co_await sf->wait();
+  co_await r.reduce_compute(nbytes);
+  a.op.apply(a.dt, a.count, a.recv, as_const(MutBytes{tmp}));
+}
+
+}  // namespace
+
+sim::CoTask<void> allreduce_recursive_doubling(CollArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const std::size_t nbytes = a.bytes();
+  auto tmp_store = a.scratch(nbytes);
+  MutBytes tmp{tmp_store};
+
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      // Fold my vector into my odd neighbour and sit out the core loop.
+      co_await r.send(c, me + 1, a.tag_base, nbytes, as_const(a.recv));
+      newrank = -1;
+    } else {
+      co_await r.recv(c, me - 1, a.tag_base, nbytes, tmp);
+      co_await r.reduce_compute(nbytes);
+      a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank != -1) {
+    int step = 1;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++step) {
+      const int npartner = newrank ^ mask;
+      const int partner = npartner < rem ? npartner * 2 + 1 : npartner + rem;
+      co_await exchange_reduce(a, partner, a.tag_base + step, tmp);
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      co_await r.send(c, me - 1, a.tag_base + kEpilogueTag, nbytes,
+                      as_const(a.recv));
+    } else {
+      co_await r.recv(c, me + 1, a.tag_base + kEpilogueTag, nbytes, a.recv);
+    }
+  }
+}
+
+sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+  const std::size_t nbytes = a.bytes();
+  auto tmp_store = a.scratch(nbytes);
+  MutBytes tmp{tmp_store};
+
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      co_await r.send(c, me + 1, a.tag_base, nbytes, as_const(a.recv));
+      newrank = -1;
+    } else {
+      co_await r.recv(c, me - 1, a.tag_base, nbytes, tmp);
+      co_await r.reduce_compute(nbytes);
+      a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  auto old_rank_of = [&](int nr) {
+    return nr < rem ? nr * 2 + 1 : nr + rem;
+  };
+
+  if (newrank != -1) {
+    // Reduce-scatter by recursive vector halving; the rank with the mask
+    // bit clear keeps the lower half of the current range.
+    std::size_t lo = 0;
+    std::size_t hi = a.count;
+    struct Level {
+      std::size_t lo, hi;
+      int partner;
+    };
+    std::vector<Level> levels;
+    int step = 1;
+    for (int mask = pof2 >> 1; mask > 0; mask >>= 1, ++step) {
+      const int partner = old_rank_of(newrank ^ mask);
+      const std::size_t mid = lo + (hi - lo) / 2;
+      std::size_t keep_lo;
+      std::size_t keep_hi;
+      std::size_t give_lo;
+      std::size_t give_hi;
+      if ((newrank & mask) == 0) {
+        keep_lo = lo;
+        keep_hi = mid;
+        give_lo = mid;
+        give_hi = hi;
+      } else {
+        keep_lo = mid;
+        keep_hi = hi;
+        give_lo = lo;
+        give_hi = mid;
+      }
+      const std::size_t keep_bytes = (keep_hi - keep_lo) * esize;
+      const std::size_t give_bytes = (give_hi - give_lo) * esize;
+      auto sf = r.isend(c, partner, a.tag_base + step, give_bytes,
+                        sub(as_const(a.recv), give_lo * esize, give_bytes));
+      co_await r.recv(c, partner, a.tag_base + step, keep_bytes,
+                      sub(tmp, 0, keep_bytes));
+      co_await sf->wait();
+      co_await r.reduce_compute(keep_bytes);
+      a.op.apply(a.dt, keep_hi - keep_lo,
+                 sub(a.recv, keep_lo * esize, keep_bytes),
+                 sub(as_const(tmp), 0, keep_bytes));
+      levels.push_back(Level{lo, hi, partner});
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+
+    // Allgather by recursive doubling, replaying the halving in reverse.
+    int ag_step = 64;
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it, ++ag_step) {
+      const std::size_t my_bytes = (hi - lo) * esize;
+      // Partner holds the complement of my range within [it->lo, it->hi).
+      std::size_t plo;
+      std::size_t phi;
+      if (lo == it->lo) {
+        plo = hi;
+        phi = it->hi;
+      } else {
+        plo = it->lo;
+        phi = lo;
+      }
+      const std::size_t p_bytes = (phi - plo) * esize;
+      auto sf = r.isend(c, it->partner, a.tag_base + ag_step, my_bytes,
+                        sub(as_const(a.recv), lo * esize, my_bytes));
+      co_await r.recv(c, it->partner, a.tag_base + ag_step, p_bytes,
+                      sub(a.recv, plo * esize, p_bytes));
+      co_await sf->wait();
+      lo = it->lo;
+      hi = it->hi;
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      co_await r.send(c, me - 1, a.tag_base + kEpilogueTag, nbytes,
+                      as_const(a.recv));
+    } else {
+      co_await r.recv(c, me + 1, a.tag_base + kEpilogueTag, nbytes, a.recv);
+    }
+  }
+}
+
+sim::CoTask<void> allreduce_ring(CollArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+  const Part max_part = partition(a.count, p, 0);
+  auto tmp_store = a.scratch(max_part.count * esize);
+  MutBytes tmp{tmp_store};
+
+  const int right = (me + 1) % p;
+  const int left = (me + p - 1) % p;
+
+  // Phase 1: reduce-scatter around the ring.
+  for (int s = 0; s < p - 1; ++s) {
+    const Part give = partition(a.count, p, (me - s + p) % p);
+    const Part take = partition(a.count, p, (me - s - 1 + p * 2) % p);
+    const std::size_t give_bytes = give.count * esize;
+    const std::size_t take_bytes = take.count * esize;
+    auto sf = r.isend(c, right, a.tag_base, give_bytes,
+                      sub(as_const(a.recv), give.offset * esize, give_bytes));
+    co_await r.recv(c, left, a.tag_base, take_bytes,
+                    sub(tmp, 0, take_bytes));
+    co_await sf->wait();
+    co_await r.reduce_compute(take_bytes);
+    a.op.apply(a.dt, take.count, sub(a.recv, take.offset * esize, take_bytes),
+               sub(as_const(tmp), 0, take_bytes));
+  }
+
+  // Phase 2: allgather around the ring.
+  for (int s = 0; s < p - 1; ++s) {
+    const Part give = partition(a.count, p, (me + 1 - s + p * 2) % p);
+    const Part take = partition(a.count, p, (me - s + p) % p);
+    const std::size_t give_bytes = give.count * esize;
+    const std::size_t take_bytes = take.count * esize;
+    auto sf = r.isend(c, right, a.tag_base + 1, give_bytes,
+                      sub(as_const(a.recv), give.offset * esize, give_bytes));
+    co_await r.recv(c, left, a.tag_base + 1, take_bytes,
+                    sub(a.recv, take.offset * esize, take_bytes));
+    co_await sf->wait();
+  }
+}
+
+sim::CoTask<void> allreduce_binomial(CollArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const std::size_t nbytes = a.bytes();
+  auto tmp_store = a.scratch(nbytes);
+  MutBytes tmp{tmp_store};
+
+  // Binomial reduce toward comm rank 0.
+  {
+    int step = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++step) {
+      if (me & mask) {
+        co_await r.send(c, me - mask, a.tag_base + step, nbytes,
+                        as_const(a.recv));
+        break;
+      }
+      const int src = me + mask;
+      if (src < p) {
+        co_await r.recv(c, src, a.tag_base + step, nbytes, tmp);
+        co_await r.reduce_compute(nbytes);
+        a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
+      }
+    }
+  }
+
+  // Binomial broadcast from comm rank 0.
+  {
+    int mask = 1;
+    while (mask < p) {
+      if (me & mask) {
+        co_await r.recv(c, me - mask, a.tag_base + 64, nbytes, a.recv);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (me + mask < p) {
+        co_await r.send(c, me + mask, a.tag_base + 64, nbytes,
+                        as_const(a.recv));
+      }
+      mask >>= 1;
+    }
+  }
+}
+
+sim::CoTask<void> allreduce_gather_bcast(CollArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const std::size_t nbytes = a.bytes();
+
+  if (me == 0) {
+    auto tmp_store = a.scratch(nbytes);
+    MutBytes tmp{tmp_store};
+    for (int src = 1; src < p; ++src) {
+      co_await r.recv(c, src, a.tag_base, nbytes, tmp);
+      co_await r.reduce_compute(nbytes);
+      a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
+    }
+    std::vector<std::shared_ptr<sim::Flag>> sends;
+    sends.reserve(static_cast<std::size_t>(p) - 1);
+    for (int dst = 1; dst < p; ++dst) {
+      sends.push_back(
+          r.isend(c, dst, a.tag_base + 1, nbytes, as_const(a.recv)));
+    }
+    co_await sim::wait_all(std::move(sends));
+  } else {
+    co_await r.send(c, 0, a.tag_base, nbytes, as_const(a.recv));
+    co_await r.recv(c, 0, a.tag_base + 1, nbytes, a.recv);
+  }
+}
+
+}  // namespace dpml::coll

@@ -1,0 +1,424 @@
+#include "coll/group_coll.hpp"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpml::coll {
+
+using simmpi::CollSlot;
+using simmpi::Machine;
+
+// ---------------------------------------------------------------------------
+// Gather
+
+void GatherArgs::check() const {
+  DPML_CHECK_MSG(rank != nullptr && comm != nullptr,
+                 "GatherArgs missing rank/comm");
+  DPML_CHECK(root >= 0 && root < comm->size());
+  DPML_CHECK(send.empty() || send.size() == block_bytes);
+  const auto p = static_cast<std::size_t>(comm->size());
+  DPML_CHECK(recv.empty() || recv.size() == p * block_bytes);
+}
+
+sim::CoTask<void> gather_binomial(GatherArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const int vrank = (me - a.root + p) % p;
+  auto actual = [&](int v) { return (v + a.root) % p; };
+
+  // Each vrank accumulates blocks [vrank, vrank + extent) in vrank space
+  // into a staging buffer, then forwards the run to its parent.
+  std::vector<std::byte> stage;
+  const bool with_data = r.machine().with_data();
+  // Worst-case run length for my subtree.
+  int extent = 1;
+  {
+    int mask = 1;
+    while (mask < p && !(vrank & mask)) {
+      extent = std::min(2 * mask, p - vrank);
+      mask <<= 1;
+    }
+  }
+  if (with_data) {
+    stage.resize(static_cast<std::size_t>(extent) * a.block_bytes);
+    if (!a.send.empty()) {
+      std::memcpy(stage.data(), a.send.data(), a.block_bytes);
+    }
+  }
+  MutBytes stageb{stage};
+
+  int filled = 1;  // blocks currently held (starting with my own)
+  int step = 0;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const std::size_t nbytes =
+          static_cast<std::size_t>(filled) * a.block_bytes;
+      co_await r.send(c, actual(vrank - mask), a.tag_base + step, nbytes,
+                      sub(as_const(stageb), 0, with_data ? nbytes : 0));
+      break;
+    }
+    const int src = vrank + mask;
+    if (src < p) {
+      const int incoming = std::min(mask, p - src);
+      const std::size_t nbytes =
+          static_cast<std::size_t>(incoming) * a.block_bytes;
+      co_await r.recv(c, actual(src), a.tag_base + step, nbytes,
+                      sub(stageb, static_cast<std::size_t>(filled) *
+                                      a.block_bytes,
+                          with_data ? nbytes : 0));
+      filled += incoming;
+    }
+    mask <<= 1;
+    ++step;
+  }
+
+  if (vrank == 0 && !a.recv.empty() && with_data) {
+    // Unrotate from vrank space into comm-rank order.
+    for (int v = 0; v < p; ++v) {
+      const int rank_of_block = actual(v);
+      std::memcpy(a.recv.data() +
+                      static_cast<std::size_t>(rank_of_block) * a.block_bytes,
+                  stage.data() + static_cast<std::size_t>(v) * a.block_bytes,
+                  a.block_bytes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter
+
+void ScatterArgs::check() const {
+  DPML_CHECK_MSG(rank != nullptr && comm != nullptr,
+                 "ScatterArgs missing rank/comm");
+  DPML_CHECK(root >= 0 && root < comm->size());
+  DPML_CHECK(recv.empty() || recv.size() == block_bytes);
+  const auto p = static_cast<std::size_t>(comm->size());
+  DPML_CHECK(send.empty() || send.size() == p * block_bytes);
+}
+
+sim::CoTask<void> scatter_binomial(ScatterArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const int vrank = (me - a.root + p) % p;
+  auto actual = [&](int v) { return (v + a.root) % p; };
+  const bool with_data = r.machine().with_data();
+
+  // Staging holds blocks [vrank, vrank+run) in vrank space.
+  std::vector<std::byte> stage;
+  MutBytes stageb{};
+  int run = 0;
+
+  if (vrank == 0) {
+    run = p;
+    if (with_data && !a.send.empty()) {
+      stage.resize(static_cast<std::size_t>(p) * a.block_bytes);
+      for (int v = 0; v < p; ++v) {
+        std::memcpy(stage.data() + static_cast<std::size_t>(v) * a.block_bytes,
+                    a.send.data() +
+                        static_cast<std::size_t>(actual(v)) * a.block_bytes,
+                    a.block_bytes);
+      }
+      stageb = MutBytes{stage};
+    }
+  }
+
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      run = std::min(mask, p - vrank);
+      if (with_data) {
+        stage.resize(static_cast<std::size_t>(run) * a.block_bytes);
+        stageb = MutBytes{stage};
+      }
+      co_await r.recv(c, actual(vrank - mask), a.tag_base,
+                      static_cast<std::size_t>(run) * a.block_bytes, stageb);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p && mask < run) {
+      const int nblocks = std::min(run - mask, std::min(mask, p - vrank - mask));
+      const std::size_t nbytes =
+          static_cast<std::size_t>(nblocks) * a.block_bytes;
+      co_await r.send(c, actual(vrank + mask), a.tag_base, nbytes,
+                      sub(as_const(stageb),
+                          static_cast<std::size_t>(mask) * a.block_bytes,
+                          with_data && !stageb.empty() ? nbytes : 0));
+      run = mask;
+    }
+    mask >>= 1;
+  }
+  if (!a.recv.empty() && with_data && !stage.empty()) {
+    std::memcpy(a.recv.data(), stage.data(), a.block_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allgather
+
+void AllgatherArgs::check() const {
+  DPML_CHECK_MSG(rank != nullptr && comm != nullptr,
+                 "AllgatherArgs missing rank/comm");
+  DPML_CHECK(send.empty() || send.size() == block_bytes);
+  const auto p = static_cast<std::size_t>(comm->size());
+  DPML_CHECK(recv.empty() || recv.size() == p * block_bytes);
+  if (rank->machine().with_data() && block_bytes > 0) {
+    DPML_CHECK_MSG(!recv.empty(), "data-mode allgather requires recv buffer");
+  }
+}
+
+sim::CoTask<void> allgather(AllgatherArgs a, AllgatherAlgo algo) {
+  if (algo == AllgatherAlgo::automatic) {
+    algo = a.block_bytes * static_cast<std::size_t>(a.comm->size()) <= 32 * 1024
+               ? AllgatherAlgo::recursive_doubling
+               : AllgatherAlgo::ring;
+  }
+  switch (algo) {
+    case AllgatherAlgo::ring: return allgather_ring(std::move(a));
+    case AllgatherAlgo::recursive_doubling: return allgather_rd(std::move(a));
+    case AllgatherAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable allgather algo");
+  return {};
+}
+
+namespace {
+
+sim::CoTask<void> allgather_copy_own(const AllgatherArgs& a, int me) {
+  const auto& host = a.rank->machine().config().host;
+  co_await a.rank->engine().delay(
+      host.copy_startup + sim::transfer_time(a.block_bytes, host.copy_bw));
+  if (!a.send.empty() && !a.recv.empty()) {
+    std::memcpy(a.recv.data() + static_cast<std::size_t>(me) * a.block_bytes,
+                a.send.data(), a.block_bytes);
+  }
+}
+
+}  // namespace
+
+sim::CoTask<void> allgather_ring(AllgatherArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  co_await allgather_copy_own(a, me);
+  if (p == 1) co_return;
+  const int right = (me + 1) % p;
+  const int left = (me + p - 1) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int give = (me - s + p) % p;
+    const int take = (me - s - 1 + 2 * p) % p;
+    auto sf = r.isend(c, right, a.tag_base, a.block_bytes,
+                      sub(as_const(a.recv),
+                          static_cast<std::size_t>(give) * a.block_bytes,
+                          a.recv.empty() ? 0 : a.block_bytes));
+    co_await r.recv(c, left, a.tag_base, a.block_bytes,
+                    sub(a.recv, static_cast<std::size_t>(take) * a.block_bytes,
+                        a.recv.empty() ? 0 : a.block_bytes));
+    co_await sf->wait();
+  }
+}
+
+sim::CoTask<void> allgather_rd(AllgatherArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  if ((p & (p - 1)) != 0) {
+    // Non-power-of-two: fall back to the ring (documented behaviour).
+    co_await allgather_ring(std::move(a));
+    co_return;
+  }
+  co_await allgather_copy_own(a, me);
+  if (p == 1) co_return;
+
+  // At step k, I hold the blocks of my 2^k-aligned group and exchange the
+  // whole run with the partner group.
+  int step = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++step) {
+    const int partner = me ^ mask;
+    const int my_base = me & ~(mask - 1);
+    const int partner_base = partner & ~(mask - 1);
+    const std::size_t nbytes =
+        static_cast<std::size_t>(mask) * a.block_bytes;
+    auto sf = r.isend(c, partner, a.tag_base + 1 + step, nbytes,
+                      sub(as_const(a.recv),
+                          static_cast<std::size_t>(my_base) * a.block_bytes,
+                          a.recv.empty() ? 0 : nbytes));
+    co_await r.recv(c, partner, a.tag_base + 1 + step, nbytes,
+                    sub(a.recv,
+                        static_cast<std::size_t>(partner_base) * a.block_bytes,
+                        a.recv.empty() ? 0 : nbytes));
+    co_await sf->wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-scatter
+
+std::size_t ReduceScatterArgs::total_bytes() const {
+  return block_bytes() * static_cast<std::size_t>(comm->size());
+}
+
+void ReduceScatterArgs::check() const {
+  DPML_CHECK_MSG(rank != nullptr && comm != nullptr,
+                 "ReduceScatterArgs missing rank/comm");
+  DPML_CHECK(send.empty() || send.size() == total_bytes());
+  DPML_CHECK(recv.empty() || recv.size() == block_bytes());
+}
+
+sim::CoTask<void> reduce_scatter_ring(ReduceScatterArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const std::size_t bbytes = a.block_bytes();
+  const bool with_data = r.machine().with_data();
+
+  if (p == 1) {
+    const auto& host = r.machine().config().host;
+    co_await r.engine().delay(host.copy_startup +
+                              sim::transfer_time(bbytes, host.copy_bw));
+    if (!a.send.empty() && !a.recv.empty()) {
+      std::memcpy(a.recv.data(), a.send.data(), bbytes);
+    }
+    co_return;
+  }
+
+  // Work on a private copy of the input (the algorithm reduces in place).
+  std::vector<std::byte> work;
+  if (with_data) {
+    work.assign(a.send.begin(), a.send.end());
+  }
+  MutBytes workb{work};
+  const auto& host = r.machine().config().host;
+  co_await r.engine().delay(host.copy_startup +
+                            sim::transfer_time(a.total_bytes(), host.copy_bw));
+
+  auto tmp_store = a.rank->machine().with_data()
+                       ? std::vector<std::byte>(bbytes)
+                       : std::vector<std::byte>{};
+  MutBytes tmp{tmp_store};
+  const int right = (me + 1) % p;
+  const int left = (me + p - 1) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int give = (me - s + p) % p;
+    const int take = (me - s - 1 + 2 * p) % p;
+    auto sf = r.isend(c, right, a.tag_base, bbytes,
+                      sub(as_const(workb),
+                          static_cast<std::size_t>(give) * bbytes,
+                          workb.empty() ? 0 : bbytes));
+    co_await r.recv(c, left, a.tag_base, bbytes, tmp);
+    co_await sf->wait();
+    co_await r.reduce_compute(bbytes);
+    a.op.apply(a.dt, a.block_count,
+               sub(workb, static_cast<std::size_t>(take) * bbytes,
+                   workb.empty() ? 0 : bbytes),
+               as_const(tmp));
+  }
+  // After p-1 steps I hold the fully reduced block (me+1) mod p, which
+  // belongs to my right neighbour; one final shift delivers block `me` to
+  // rank `me` (keeps the MPI_Reduce_scatter_block block assignment).
+  const int owned = (me + 1) % p;
+  auto sf = r.isend(c, right, a.tag_base + 1, bbytes,
+                    sub(as_const(workb),
+                        static_cast<std::size_t>(owned) * bbytes,
+                        workb.empty() ? 0 : bbytes));
+  co_await r.recv(c, left, a.tag_base + 1, bbytes, a.recv);
+  co_await sf->wait();
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+
+sim::CoTask<void> barrier(BarrierArgs a, BarrierAlgo algo) {
+  DPML_CHECK(a.rank != nullptr && a.comm != nullptr);
+  if (algo == BarrierAlgo::automatic) {
+    const bool is_world =
+        a.comm->context() == a.rank->machine().world().context();
+    algo = is_world && a.rank->machine().ppn() > 1
+               ? BarrierAlgo::single_leader
+               : BarrierAlgo::dissemination;
+  }
+  switch (algo) {
+    case BarrierAlgo::dissemination:
+      return barrier_dissemination(std::move(a));
+    case BarrierAlgo::single_leader:
+      return barrier_single_leader(std::move(a));
+    case BarrierAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable barrier algo");
+  return {};
+}
+
+sim::CoTask<void> barrier_dissemination(BarrierArgs a) {
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  int step = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++step) {
+    const int to = (me + dist) % p;
+    const int from = (me - dist % p + p) % p;
+    auto sf = r.isend(c, to, a.tag_base + step, 0);
+    co_await r.recv(c, from, a.tag_base + step, 0);
+    co_await sf->wait();
+  }
+}
+
+sim::CoTask<void> barrier_single_leader(BarrierArgs a) {
+  Rank& r = *a.rank;
+  Machine& m = r.machine();
+  DPML_CHECK_MSG(a.comm->context() == m.world().context(),
+                 "hierarchical barrier runs on the world communicator");
+  const int ppn = m.ppn();
+  if (ppn == 1) {
+    co_await barrier_dissemination(std::move(a));
+    co_return;
+  }
+  const std::int64_t key = r.next_coll_key(a.comm->context());
+  CollSlot& slot = r.node().slot(key);
+  if (!slot.initialized) {
+    slot.latches.emplace_back(r.engine(), ppn - 1);
+    slot.flags.emplace_back(r.engine());
+    slot.initialized = true;
+  }
+  if (r.local_rank() == 0) {
+    co_await slot.latches[0].wait();
+    if (m.num_nodes() > 1) {
+      BarrierArgs la;
+      la.rank = &r;
+      la.comm = &m.leader_comm(0, 1);
+      co_await barrier_dissemination(la);
+    }
+    co_await r.signal(slot.flags[0]);
+  } else {
+    co_await r.signal(slot.latches[0]);
+    co_await slot.flags[0].wait();
+    co_await r.compute(m.config().host.flag_latency);
+  }
+  r.node().release_slot(key, ppn);
+}
+
+}  // namespace dpml::coll

@@ -1,0 +1,105 @@
+// Remaining group collectives used as substrate and exposed publicly:
+// gather, scatter, allgather, reduce_scatter, and barrier.
+//
+// These complete the collective surface an MPI-like runtime needs and serve
+// as independently-tested building blocks (e.g. the Rabenseifner allreduce
+// is reduce_scatter + allgather; the van de Geijn bcast is scatter +
+// allgather).
+#pragma once
+
+#include "coll/coll.hpp"
+
+namespace dpml::coll {
+
+// ---- Gather / Scatter (binomial trees, equal block sizes) ----
+
+struct GatherArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  int root = 0;
+  std::size_t block_bytes = 0;  // per-rank contribution
+  ConstBytes send{};            // my block
+  MutBytes recv{};              // root only: p * block_bytes
+  int tag_base = 0;
+
+  void check() const;
+};
+
+sim::CoTask<void> gather_binomial(GatherArgs a);
+
+struct ScatterArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  int root = 0;
+  std::size_t block_bytes = 0;
+  ConstBytes send{};  // root only: p * block_bytes
+  MutBytes recv{};    // my block
+  int tag_base = 0;
+
+  void check() const;
+};
+
+sim::CoTask<void> scatter_binomial(ScatterArgs a);
+
+// ---- Allgather ----
+
+struct AllgatherArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  std::size_t block_bytes = 0;  // per-rank block
+  ConstBytes send{};            // my block
+  MutBytes recv{};              // p * block_bytes, my block also written
+  int tag_base = 0;
+
+  void check() const;
+};
+
+enum class AllgatherAlgo { ring, recursive_doubling, automatic };
+
+sim::CoTask<void> allgather(AllgatherArgs a,
+                            AllgatherAlgo algo = AllgatherAlgo::automatic);
+sim::CoTask<void> allgather_ring(AllgatherArgs a);
+// Recursive doubling; non-power-of-two sizes fall back to ring.
+sim::CoTask<void> allgather_rd(AllgatherArgs a);
+
+// ---- Reduce-scatter (equal block counts per rank) ----
+
+struct ReduceScatterArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  std::size_t block_count = 0;  // elements each rank receives
+  Dtype dt = Dtype::f32;
+  Op op = simmpi::ReduceOp::sum;
+  ConstBytes send{};  // p * block_count elements
+  MutBytes recv{};    // block_count elements
+  int tag_base = 0;
+
+  std::size_t block_bytes() const {
+    return block_count * simmpi::dtype_size(dt);
+  }
+  std::size_t total_bytes() const;
+  void check() const;
+};
+
+// Ring reduce-scatter (bandwidth optimal; p-1 steps).
+sim::CoTask<void> reduce_scatter_ring(ReduceScatterArgs a);
+
+// ---- Barrier ----
+
+struct BarrierArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  int tag_base = 0;
+};
+
+enum class BarrierAlgo { dissemination, single_leader, automatic };
+
+sim::CoTask<void> barrier(BarrierArgs a,
+                          BarrierAlgo algo = BarrierAlgo::automatic);
+// Dissemination barrier: ceil(lg p) rounds of 0-byte messages.
+sim::CoTask<void> barrier_dissemination(BarrierArgs a);
+// Hierarchical: intra-node latch, inter-node dissemination among leaders,
+// intra-node release (world communicator only).
+sim::CoTask<void> barrier_single_leader(BarrierArgs a);
+
+}  // namespace dpml::coll

@@ -1,0 +1,365 @@
+#include "coll/reduce.hpp"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpml::coll {
+
+using simmpi::CollSlot;
+using simmpi::Machine;
+using simmpi::ShmWindow;
+
+std::vector<std::byte> ReduceArgs::scratch(std::size_t nbytes) const {
+  DPML_CHECK(rank != nullptr);
+  if (!rank->machine().with_data()) return {};
+  return std::vector<std::byte>(nbytes);
+}
+
+void ReduceArgs::check() const {
+  DPML_CHECK_MSG(rank != nullptr && comm != nullptr,
+                 "ReduceArgs missing rank/comm");
+  DPML_CHECK(root >= 0 && root < comm->size());
+  const std::size_t nbytes = bytes();
+  DPML_CHECK_MSG(recv.empty() || recv.size() == nbytes,
+                 "recv buffer size mismatch");
+  DPML_CHECK_MSG(send.empty() || send.size() == nbytes,
+                 "send buffer size mismatch");
+  const bool am_root = comm->rank_of_world(rank->world_rank()) == root;
+  if (rank->machine().with_data() && nbytes > 0) {
+    if (inplace) {
+      // In-place: this rank's input (and, at the root, output) is in recv.
+      DPML_CHECK_MSG(!recv.empty(), "in-place reduce needs recv buffer");
+    } else if (am_root) {
+      DPML_CHECK_MSG(!recv.empty(), "data-mode reduce root needs recv buffer");
+      DPML_CHECK_MSG(!send.empty(), "data-mode reduce root needs send buffer");
+    } else {
+      DPML_CHECK_MSG(!send.empty(), "data-mode reduce needs send buffer");
+    }
+  }
+}
+
+const char* reduce_algo_name(ReduceAlgo a) {
+  switch (a) {
+    case ReduceAlgo::binomial: return "binomial";
+    case ReduceAlgo::rsa_gather: return "rsa-gather";
+    case ReduceAlgo::single_leader: return "single-leader";
+    case ReduceAlgo::dpml: return "dpml";
+    case ReduceAlgo::automatic: return "auto";
+  }
+  return "?";
+}
+
+sim::CoTask<void> reduce(ReduceArgs a, ReduceAlgo algo,
+                         DpmlParams dpml_params) {
+  if (algo == ReduceAlgo::automatic) {
+    algo = a.bytes() <= 8 * 1024 ? ReduceAlgo::binomial
+                                 : ReduceAlgo::rsa_gather;
+  }
+  switch (algo) {
+    case ReduceAlgo::binomial: return reduce_binomial(std::move(a));
+    case ReduceAlgo::rsa_gather: return reduce_rsa_gather(std::move(a));
+    case ReduceAlgo::single_leader: return reduce_single_leader(std::move(a));
+    case ReduceAlgo::dpml: return reduce_dpml(std::move(a), dpml_params);
+    case ReduceAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable reduce algo");
+  return {};
+}
+
+namespace {
+
+// Prepare the local accumulator. In-place: every rank's input already sits
+// in recv (the convention the hierarchical designs use internally), so recv
+// is the accumulator. Otherwise the root accumulates into recv and other
+// ranks into scratch; the initial copy is charged either way.
+sim::CoTask<MutBytes> prepare_acc(const ReduceArgs& a, bool am_root,
+                                  std::vector<std::byte>& store) {
+  Rank& r = *a.rank;
+  const std::size_t nbytes = a.bytes();
+  const auto& host = r.machine().config().host;
+  if (a.inplace) co_return a.recv;
+  co_await r.engine().delay(host.copy_startup +
+                            sim::transfer_time(nbytes, host.copy_bw));
+  if (am_root) {
+    if (!a.send.empty() && !a.recv.empty()) {
+      std::memcpy(a.recv.data(), a.send.data(), nbytes);
+    }
+    co_return a.recv;
+  }
+  store = a.scratch(nbytes);
+  MutBytes acc{store};
+  if (!store.empty() && !a.send.empty()) {
+    std::memcpy(store.data(), a.send.data(), nbytes);
+  }
+  co_return acc;
+}
+
+}  // namespace
+
+sim::CoTask<void> reduce_binomial(ReduceArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const std::size_t nbytes = a.bytes();
+  const bool am_root = me == a.root;
+  std::vector<std::byte> acc_store;
+  MutBytes acc = co_await prepare_acc(a, am_root, acc_store);
+  if (p == 1) co_return;
+  auto tmp_store = a.scratch(nbytes);
+  MutBytes tmp{tmp_store};
+  const int vrank = (me - a.root + p) % p;
+  auto actual = [&](int v) { return (v + a.root) % p; };
+
+  int step = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++step) {
+    if (vrank & mask) {
+      co_await r.send(c, actual(vrank - mask), a.tag_base + step, nbytes,
+                      as_const(acc));
+      break;
+    }
+    if (vrank + mask < p) {
+      co_await r.recv(c, actual(vrank + mask), a.tag_base + step, nbytes, tmp);
+      co_await r.reduce_compute(nbytes);
+      a.op.apply(a.dt, a.count, acc, as_const(tmp));
+    }
+  }
+}
+
+sim::CoTask<void> reduce_rsa_gather(ReduceArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+  const bool am_root = me == a.root;
+  std::vector<std::byte> acc_store;
+  MutBytes acc = co_await prepare_acc(a, am_root, acc_store);
+  if (p == 1) co_return;
+  const Part block0 = partition(a.count, p, 0);
+  auto tmp_store = a.scratch(block0.count * esize);
+  MutBytes tmp{tmp_store};
+
+  // Ring reduce-scatter over `acc`.
+  const int right = (me + 1) % p;
+  const int left = (me + p - 1) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const Part give = partition(a.count, p, (me - s + p) % p);
+    const Part take = partition(a.count, p, (me - s - 1 + 2 * p) % p);
+    const std::size_t gbytes = give.count * esize;
+    const std::size_t tbytes = take.count * esize;
+    auto sf = r.isend(c, right, a.tag_base, gbytes,
+                      sub(as_const(acc), give.offset * esize, gbytes));
+    co_await r.recv(c, left, a.tag_base, tbytes, sub(tmp, 0, tbytes));
+    co_await sf->wait();
+    co_await r.reduce_compute(tbytes);
+    a.op.apply(a.dt, take.count, sub(acc, take.offset * esize, tbytes),
+               sub(as_const(tmp), 0, tbytes));
+  }
+
+  // Gather the fully reduced segments at the root. Rank me owns block
+  // (me+1) mod p after the ring phase.
+  const int my_block = (me + 1) % p;
+  const Part mine = partition(a.count, p, my_block);
+  if (am_root) {
+    std::vector<std::shared_ptr<sim::Flag>> pending;
+    for (int src = 0; src < p; ++src) {
+      if (src == me) continue;
+      const Part pb = partition(a.count, p, (src + 1) % p);
+      auto h = r.irecv(c, src, a.tag_base + 1, pb.count * esize,
+                       sub(a.recv, pb.offset * esize, pb.count * esize));
+      pending.push_back(h.done);
+    }
+    // The root's own block may live in scratch (non-in-place path already
+    // reduced into recv, so only the data copy is conceptually needed; the
+    // time was charged by the ring phase).
+    if (!acc.empty() && !a.recv.empty() && acc.data() != a.recv.data()) {
+      std::memcpy(a.recv.data() + mine.offset * esize,
+                  acc.data() + mine.offset * esize, mine.count * esize);
+    }
+    co_await sim::wait_all(std::move(pending));
+  } else {
+    co_await r.send(c, a.root, a.tag_base + 1, mine.count * esize,
+                    sub(as_const(acc), mine.offset * esize,
+                        mine.count * esize));
+  }
+}
+
+sim::CoTask<void> reduce_single_leader(ReduceArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  Machine& m = r.machine();
+  DPML_CHECK_MSG(a.comm->context() == m.world().context(),
+                 "hierarchical reduce runs on the world communicator");
+  const int ppn = m.ppn();
+  if (ppn == 1) {
+    co_await reduce_binomial(std::move(a));
+    co_return;
+  }
+  const Comm& c = *a.comm;
+  const int root_world = c.world_rank(a.root);
+  const int root_node = root_world / ppn;
+  const int h = m.num_nodes();
+  const std::size_t nbytes = a.bytes();
+  const bool is_leader = r.local_rank() == 0;
+  const bool am_root = r.world_rank() == root_world;
+
+  const std::int64_t key = r.next_coll_key(c.context());
+  CollSlot& slot = r.node().slot(key);
+  if (!slot.initialized) {
+    slot.windows.emplace_back(static_cast<std::size_t>(ppn - 1) * nbytes,
+                              m.socket_of_local(0), m.with_data());
+    slot.latches.emplace_back(r.engine(), ppn - 1);
+    slot.initialized = true;
+  }
+
+  if (is_leader) {
+    std::vector<std::byte> acc_store;
+    // The leader accumulates into recv only when it is also the root.
+    ReduceArgs la = a;
+    MutBytes acc = co_await prepare_acc(la, am_root, acc_store);
+    co_await slot.latches[0].wait();
+    co_await r.compute(m.collection_cost(0, 0, ppn));
+    co_await r.reduce_compute(static_cast<std::size_t>(ppn - 1) * nbytes);
+    if (slot.windows[0].has_data() && !acc.empty()) {
+      for (int i = 0; i < ppn - 1; ++i) {
+        a.op.apply(a.dt, a.count, acc,
+                   slot.windows[0].data().subspan(
+                       static_cast<std::size_t>(i) * nbytes, nbytes));
+      }
+    }
+    if (h > 1) {
+      ReduceArgs ia = a;
+      ia.comm = &m.leader_comm(0, 1);
+      ia.root = root_node;
+      ia.send = {};
+      ia.recv = acc;
+      ia.inplace = true;
+      ia.tag_base = static_cast<int>((key & 0x3ff)) * 2048;
+      co_await reduce_binomial(std::move(ia));
+    }
+    if (r.node_id() == root_node && !am_root) {
+      co_await r.send(c, a.root, a.tag_base + 7, nbytes, as_const(acc));
+    }
+  } else {
+    co_await r.shm_put(slot.windows[0],
+                       static_cast<std::size_t>(r.local_rank() - 1) * nbytes,
+                       nbytes, a.inplace && am_root ? as_const(a.recv) : a.send);
+    co_await r.signal(slot.latches[0]);
+    if (am_root) {
+      co_await r.recv(c, c.rank_of_world(r.node_id() * ppn), a.tag_base + 7,
+                      nbytes, a.recv);
+    }
+  }
+  r.node().release_slot(key, ppn);
+}
+
+sim::CoTask<void> reduce_dpml(ReduceArgs a, DpmlParams params) {
+  a.check();
+  Rank& r = *a.rank;
+  Machine& m = r.machine();
+  DPML_CHECK_MSG(a.comm->context() == m.world().context(),
+                 "DPML reduce runs on the world communicator");
+  const int ppn = m.ppn();
+  const int h = m.num_nodes();
+  const int l = std::clamp(params.leaders, 1, ppn);
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+  const Comm& c = *a.comm;
+  const int root_world = c.world_rank(a.root);
+  const int root_node = root_world / ppn;
+  const bool am_root = r.world_rank() == root_world;
+
+  if (ppn == 1) {
+    co_await reduce_binomial(std::move(a));
+    co_return;
+  }
+
+  const std::int64_t key = r.next_coll_key(c.context());
+  CollSlot& slot = r.node().slot(key);
+  if (!slot.initialized) {
+    for (int j = 0; j < l; ++j) {
+      const Part pj = partition(a.count, l, j);
+      const std::size_t pbytes = pj.count * esize;
+      const int owner = m.socket_of_local(m.leader_local_rank(j, l));
+      slot.windows.emplace_back(static_cast<std::size_t>(ppn) * pbytes, owner,
+                                m.with_data());
+      slot.windows.emplace_back(pbytes, owner, m.with_data());
+      slot.flags.emplace_back(r.engine());
+    }
+    slot.latches.emplace_back(r.engine(), ppn);
+    slot.initialized = true;
+  }
+  sim::Latch& gathered = slot.latches[0];
+
+  // Phase 1: everyone stripes its input into the leaders' windows.
+  const ConstBytes input = a.inplace && am_root ? as_const(a.recv) : a.send;
+  for (int j = 0; j < l; ++j) {
+    const Part pj = partition(a.count, l, j);
+    const std::size_t pbytes = pj.count * esize;
+    co_await r.shm_put(slot.windows[2 * j],
+                       static_cast<std::size_t>(r.local_rank()) * pbytes,
+                       pbytes, sub(input, pj.offset * esize, pbytes));
+  }
+  co_await r.signal(gathered);
+
+  // Phases 2-3: leaders reduce locally, then a rooted inter-node reduce per
+  // leader group toward the root node's leader.
+  const int my_leader = m.leader_index_of_local(r.local_rank(), l);
+  std::vector<std::byte> part_store;
+  if (my_leader >= 0) {
+    const int j = my_leader;
+    const Part pj = partition(a.count, l, j);
+    const std::size_t pbytes = pj.count * esize;
+    ShmWindow& gather = slot.windows[2 * j];
+    co_await gathered.wait();
+    co_await r.compute(m.collection_cost(r.local_rank(), 0, ppn));
+    part_store = a.scratch(pbytes);
+    MutBytes part{part_store};
+    if (gather.has_data() && pbytes > 0) {
+      std::memcpy(part.data(), gather.data().data(), pbytes);
+      for (int i = 1; i < ppn; ++i) {
+        a.op.apply(a.dt, pj.count, part,
+                   gather.data().subspan(static_cast<std::size_t>(i) * pbytes,
+                                         pbytes));
+      }
+    }
+    co_await r.reduce_compute(static_cast<std::size_t>(ppn - 1) * pbytes);
+    if (h > 1) {
+      ReduceArgs ia = a;
+      ia.comm = &m.leader_comm(j, l);
+      ia.root = root_node;  // leader comms are ordered by node id
+      ia.count = pj.count;
+      ia.send = {};
+      ia.recv = part;
+      ia.inplace = true;
+      ia.tag_base = static_cast<int>((key & 0x3ff)) * 2048;
+      co_await reduce_binomial(std::move(ia));
+    }
+    if (r.node_id() == root_node) {
+      co_await r.shm_put(slot.windows[2 * j + 1], 0, pbytes, as_const(part));
+      co_await r.signal(slot.flags[j]);
+    }
+  }
+
+  // Phase 4: the root collects every partition from its node's windows.
+  if (am_root) {
+    for (int j = 0; j < l; ++j) {
+      const Part pj = partition(a.count, l, j);
+      const std::size_t pbytes = pj.count * esize;
+      co_await slot.flags[j].wait();
+      co_await r.shm_get(slot.windows[2 * j + 1], 0, pbytes,
+                         sub(a.recv, pj.offset * esize, pbytes));
+    }
+  }
+  r.node().release_slot(key, ppn);
+}
+
+}  // namespace dpml::coll

@@ -1,0 +1,50 @@
+// Rooted reduction (MPI_Reduce).
+//
+// Includes the DPML extension the paper names as future work (§8): the same
+// four-phase data-partitioned multi-leader structure, with phase 3 running a
+// rooted inter-node reduce per leader group and phase 4 collecting the
+// partitions at the root instead of broadcasting them.
+//
+// Designs:
+//  * binomial        — lg(p) reduction tree (small messages)
+//  * rsa_gather      — ring reduce-scatter + segment gather at the root
+//                      (bandwidth-optimal for large messages)
+//  * single_leader   — shm gather + leader reduce + inter-node rooted reduce
+//  * dpml            — multi-leader partitioned (future-work extension)
+#pragma once
+
+#include "coll/coll.hpp"
+#include "coll/dpml.hpp"
+
+namespace dpml::coll {
+
+struct ReduceArgs {
+  Rank* rank = nullptr;
+  const Comm* comm = nullptr;
+  int root = 0;
+  std::size_t count = 0;
+  Dtype dt = Dtype::f32;
+  Op op = simmpi::ReduceOp::sum;
+  ConstBytes send{};
+  MutBytes recv{};      // significant only at root
+  int tag_base = 0;
+  bool inplace = false;
+
+  std::size_t bytes() const { return count * simmpi::dtype_size(dt); }
+  std::vector<std::byte> scratch(std::size_t nbytes) const;
+  void check() const;
+};
+
+enum class ReduceAlgo { binomial, rsa_gather, single_leader, dpml, automatic };
+
+const char* reduce_algo_name(ReduceAlgo a);
+
+sim::CoTask<void> reduce(ReduceArgs a, ReduceAlgo algo = ReduceAlgo::automatic,
+                         DpmlParams dpml_params = {});
+
+sim::CoTask<void> reduce_binomial(ReduceArgs a);
+sim::CoTask<void> reduce_rsa_gather(ReduceArgs a);
+sim::CoTask<void> reduce_single_leader(ReduceArgs a);
+sim::CoTask<void> reduce_dpml(ReduceArgs a, DpmlParams params);
+
+}  // namespace dpml::coll

@@ -1,0 +1,156 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dpml::core {
+
+const char* algorithm_name(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::recursive_doubling: return "rd";
+    case Algorithm::reduce_scatter_allgather: return "rsa";
+    case Algorithm::ring: return "ring";
+    case Algorithm::binomial: return "binomial";
+    case Algorithm::gather_bcast: return "gather-bcast";
+    case Algorithm::single_leader: return "single-leader";
+    case Algorithm::dpml: return "dpml";
+    case Algorithm::sharp_node_leader: return "sharp-node-leader";
+    case Algorithm::sharp_socket_leader: return "sharp-socket-leader";
+    case Algorithm::mvapich2: return "mvapich2";
+    case Algorithm::intelmpi: return "intelmpi";
+    case Algorithm::dpml_auto: return "dpml-auto";
+  }
+  return "?";
+}
+
+Algorithm algorithm_by_name(const std::string& name) {
+  for (Algorithm a :
+       {Algorithm::recursive_doubling, Algorithm::reduce_scatter_allgather,
+        Algorithm::ring, Algorithm::binomial, Algorithm::gather_bcast,
+        Algorithm::single_leader, Algorithm::dpml,
+        Algorithm::sharp_node_leader, Algorithm::sharp_socket_leader,
+        Algorithm::mvapich2, Algorithm::intelmpi, Algorithm::dpml_auto}) {
+    if (name == algorithm_name(a)) return a;
+  }
+  DPML_CHECK_MSG(false, "unknown algorithm: " + name);
+  return Algorithm::dpml;
+}
+
+std::string AllreduceSpec::label() const {
+  std::string s = algorithm_name(algo);
+  if (algo == Algorithm::dpml) {
+    s += "(l=" + std::to_string(leaders);
+    if (pipeline_k > 1) s += ",k=" + std::to_string(pipeline_k);
+    s += ")";
+  }
+  return s;
+}
+
+bool needs_fabric(Algorithm algo) {
+  return algo == Algorithm::sharp_node_leader ||
+         algo == Algorithm::sharp_socket_leader;
+}
+
+namespace {
+
+// The tuned selection table behind Algorithm::dpml_auto: the paper's
+// "proposed" configuration chosen per message size and platform (§6.4).
+// Small messages use SHArP when the fabric offers it; otherwise leader
+// counts grow with message size, and on fabrics whose large-message
+// throughput does not scale with concurrency (Omni-Path Zone C) the
+// inter-node phase is pipelined.
+AllreduceSpec auto_spec(const coll::CollArgs& args,
+                        sharp::SharpFabric* fabric) {
+  const auto& m = args.rank->machine();
+  const std::size_t bytes = args.bytes();
+  const int ppn = m.ppn();
+
+  if (fabric != nullptr && bytes <= 2048 && fabric->supports(bytes)) {
+    AllreduceSpec s;
+    s.algo = m.config().node.sockets > 1 ? Algorithm::sharp_socket_leader
+                                         : Algorithm::sharp_node_leader;
+    s.fabric = fabric;
+    return s;
+  }
+
+  AllreduceSpec s;
+  s.algo = Algorithm::dpml;
+  if (bytes <= 1024) {
+    s.leaders = 1;
+  } else if (bytes <= 8 * 1024) {
+    s.leaders = 4;
+  } else if (bytes <= 64 * 1024) {
+    s.leaders = 8;
+  } else {
+    s.leaders = 16;
+  }
+  s.leaders = std::min(s.leaders, ppn);
+
+  // Omni-Path-like fabric: a single stream already saturates the link for
+  // large messages, so pipeline the per-leader partitions (paper §4.2).
+  const auto& nic = m.config().nic;
+  const bool message_rate_fabric = nic.proc_bw > nic.link_bw / 2.0;
+  const std::size_t per_leader = bytes / static_cast<std::size_t>(s.leaders);
+  if (message_rate_fabric && per_leader > 64 * 1024) {
+    s.pipeline_k = static_cast<int>(
+        std::min<std::size_t>(8, per_leader / (32 * 1024)));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::shared_ptr<sim::Flag> start_allreduce(coll::CollArgs args,
+                                           const AllreduceSpec& spec) {
+  sim::Engine& engine = args.rank->engine();
+  return engine.spawn_sub(run_allreduce(std::move(args), spec));
+}
+
+sim::CoTask<void> run_allreduce(coll::CollArgs args,
+                                const AllreduceSpec& spec) {
+  switch (spec.algo) {
+    case Algorithm::recursive_doubling:
+      return coll::allreduce_recursive_doubling(std::move(args));
+    case Algorithm::reduce_scatter_allgather:
+      return coll::allreduce_reduce_scatter_allgather(std::move(args));
+    case Algorithm::ring:
+      return coll::allreduce_ring(std::move(args));
+    case Algorithm::binomial:
+      return coll::allreduce_binomial(std::move(args));
+    case Algorithm::gather_bcast:
+      return coll::allreduce_gather_bcast(std::move(args));
+    case Algorithm::single_leader:
+      return coll::allreduce_single_leader(std::move(args), spec.inter);
+    case Algorithm::dpml: {
+      coll::DpmlParams p;
+      p.leaders = spec.leaders;
+      p.pipeline_k = spec.pipeline_k;
+      p.inter = spec.inter;
+      return coll::allreduce_dpml(std::move(args), p);
+    }
+    case Algorithm::sharp_node_leader:
+      DPML_CHECK_MSG(spec.fabric != nullptr,
+                     "sharp_node_leader requires an attached SharpFabric");
+      return coll::allreduce_sharp(std::move(args), *spec.fabric,
+                                   coll::SharpDesign::node_leader);
+    case Algorithm::sharp_socket_leader:
+      DPML_CHECK_MSG(spec.fabric != nullptr,
+                     "sharp_socket_leader requires an attached SharpFabric");
+      return coll::allreduce_sharp(std::move(args), *spec.fabric,
+                                   coll::SharpDesign::socket_leader);
+    case Algorithm::mvapich2:
+      return coll::allreduce_mvapich2(std::move(args));
+    case Algorithm::intelmpi:
+      return coll::allreduce_intelmpi(std::move(args));
+    case Algorithm::dpml_auto: {
+      AllreduceSpec resolved = auto_spec(args, spec.fabric);
+      return run_allreduce(std::move(args), resolved);
+    }
+  }
+  DPML_CHECK_MSG(false, "unreachable algorithm");
+  return {};
+}
+
+}  // namespace dpml::core

@@ -1,0 +1,65 @@
+// Public entry point: one dispatcher over every allreduce design in the
+// repository. This is the API the examples, tests, and benches program
+// against; it mirrors what an MPI library's collective-selection layer does.
+#pragma once
+
+#include <string>
+
+#include "coll/baselines.hpp"
+#include "coll/coll.hpp"
+#include "coll/dpml.hpp"
+#include "coll/sharp_coll.hpp"
+#include "sharp/sharp.hpp"
+
+namespace dpml::core {
+
+enum class Algorithm {
+  // Flat baselines
+  recursive_doubling,
+  reduce_scatter_allgather,
+  ring,
+  binomial,
+  gather_bcast,
+  // Hierarchical designs
+  single_leader,
+  dpml,            // paper §4.1 (pipeline_k > 1 => DPML-Pipelined, §4.2)
+  // SHArP designs (paper §4.3; need a SharpFabric)
+  sharp_node_leader,
+  sharp_socket_leader,
+  // Library-like selection stacks (paper §6.4 baselines)
+  mvapich2,
+  intelmpi,
+  // Tuned DPML selection (paper's "proposed" line; see tuner.hpp)
+  dpml_auto,
+};
+
+const char* algorithm_name(Algorithm algo);
+Algorithm algorithm_by_name(const std::string& name);
+
+struct AllreduceSpec {
+  Algorithm algo = Algorithm::dpml;
+  int leaders = 4;
+  int pipeline_k = 1;
+  coll::InterAlgo inter = coll::InterAlgo::automatic;
+  sharp::SharpFabric* fabric = nullptr;  // required by the sharp_* designs
+
+  // Human-readable label for tables, e.g. "dpml(l=16,k=4)".
+  std::string label() const;
+};
+
+// Run one allreduce with the given spec. SPMD: every rank of args.comm
+// calls this with identical arguments.
+sim::CoTask<void> run_allreduce(coll::CollArgs args, const AllreduceSpec& spec);
+
+// Non-blocking variant (MPI_Iallreduce-style): starts the collective as a
+// background sub-operation of the calling rank and returns its completion
+// flag (co_await flag->wait(), or sim::wait_all for a waitall). The paper's
+// future work names non-blocking collectives; DPML-Pipelined already uses
+// this machinery internally.
+std::shared_ptr<sim::Flag> start_allreduce(coll::CollArgs args,
+                                           const AllreduceSpec& spec);
+
+// True if the algorithm requires a SHArP fabric.
+bool needs_fabric(Algorithm algo);
+
+}  // namespace dpml::core

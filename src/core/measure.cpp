@@ -1,0 +1,127 @@
+#include "core/measure.hpp"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "simmpi/verify.hpp"
+#include "util/error.hpp"
+
+namespace dpml::core {
+
+namespace {
+
+struct Shared {
+  Shared(sim::Engine& e, int parties) : barrier(e, parties) {}
+  sim::Barrier barrier;
+  sim::Time iter_start = 0;
+  std::vector<sim::Time> samples;
+};
+
+sim::CoTask<void> bench_rank(simmpi::Rank& r, const AllreduceSpec& spec,
+                             const MeasureOptions& opt, std::size_t count,
+                             simmpi::ConstBytes send, simmpi::MutBytes recv,
+                             std::shared_ptr<Shared> sh) {
+  const auto& world = r.machine().world();
+  for (int it = 0; it < opt.warmup + opt.iterations; ++it) {
+    co_await sh->barrier.arrive_and_wait();
+    if (r.world_rank() == 0) sh->iter_start = r.engine().now();
+    coll::CollArgs a;
+    a.rank = &r;
+    a.comm = &world;
+    a.count = count;
+    a.dt = opt.dt;
+    a.op = opt.op;
+    a.send = send;
+    a.recv = recv;
+    co_await run_allreduce(a, spec);
+    co_await sh->barrier.arrive_and_wait();
+    if (r.world_rank() == 0 && it >= opt.warmup) {
+      sh->samples.push_back(r.engine().now() - sh->iter_start);
+    }
+  }
+}
+
+}  // namespace
+
+MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
+                                int ppn, std::size_t bytes,
+                                const AllreduceSpec& spec,
+                                const MeasureOptions& opt) {
+  const std::size_t esize = simmpi::dtype_size(opt.dt);
+  DPML_CHECK_MSG(bytes % esize == 0,
+                 "message size must be a multiple of the datatype size");
+  const std::size_t count = bytes / esize;
+  DPML_CHECK(opt.iterations >= 1 && opt.warmup >= 0);
+
+  simmpi::RunOptions ropt;
+  ropt.with_data = opt.with_data;
+  ropt.seed = opt.seed;
+  simmpi::Machine machine(cfg, nodes, ppn, ropt);
+
+  // Attach an in-network aggregation fabric when the design needs it (or
+  // when dpml_auto could route small messages through it).
+  std::optional<sharp::SharpFabric> fabric;
+  AllreduceSpec used = spec;
+  if ((needs_fabric(spec.algo) || spec.algo == Algorithm::dpml_auto) &&
+      cfg.has_sharp() && spec.fabric == nullptr) {
+    fabric.emplace(machine);
+    used.fabric = &*fabric;
+  }
+  if (needs_fabric(used.algo)) {
+    DPML_CHECK_MSG(used.fabric != nullptr,
+                   "SHArP design requested on a fabric-less cluster");
+  }
+
+  const int world = machine.world_size();
+  std::vector<std::vector<std::byte>> sendbufs;
+  std::vector<std::vector<std::byte>> recvbufs(
+      static_cast<std::size_t>(world));
+  if (opt.with_data) {
+    sendbufs.reserve(static_cast<std::size_t>(world));
+    for (int w = 0; w < world; ++w) {
+      sendbufs.push_back(
+          simmpi::make_operand(opt.dt, count, w, opt.op, opt.seed));
+      recvbufs[static_cast<std::size_t>(w)].resize(bytes);
+    }
+  }
+
+  auto sh = std::make_shared<Shared>(machine.engine(), world);
+  machine.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    const auto w = static_cast<std::size_t>(r.world_rank());
+    simmpi::ConstBytes send =
+        opt.with_data ? simmpi::ConstBytes{sendbufs[w]} : simmpi::ConstBytes{};
+    simmpi::MutBytes recv =
+        opt.with_data ? simmpi::MutBytes{recvbufs[w]} : simmpi::MutBytes{};
+    return bench_rank(r, used, opt, count, send, recv, sh);
+  });
+
+  MeasureResult res;
+  DPML_CHECK(static_cast<int>(sh->samples.size()) == opt.iterations);
+  sim::Time total = 0;
+  sim::Time best = sh->samples.front();
+  sim::Time worst = sh->samples.front();
+  for (sim::Time t : sh->samples) {
+    total += t;
+    best = std::min(best, t);
+    worst = std::max(worst, t);
+  }
+  res.avg_us = sim::to_us(total) / opt.iterations;
+  res.best_us = sim::to_us(best);
+  res.worst_us = sim::to_us(worst);
+  res.events = machine.engine().events_processed();
+
+  if (opt.with_data) {
+    const auto ref =
+        simmpi::reference_allreduce(opt.dt, count, world, opt.op, opt.seed);
+    for (int w = 0; w < world; ++w) {
+      if (recvbufs[static_cast<std::size_t>(w)] != ref) {
+        res.verified = false;
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dpml::core

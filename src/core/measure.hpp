@@ -1,0 +1,38 @@
+// Latency measurement harness (OSU-style, barrier-separated iterations).
+//
+// Builds a Machine for the requested (cluster, nodes, ppn), runs warmup +
+// measured iterations of one allreduce spec on every rank, and reports the
+// per-iteration simulated latency. In data mode every rank's result is
+// verified bit-for-bit against the serial reference.
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.hpp"
+#include "net/cluster.hpp"
+
+namespace dpml::core {
+
+struct MeasureOptions {
+  int iterations = 5;
+  int warmup = 2;
+  bool with_data = false;  // metadata-only by default: scales to 10k ranks
+  std::uint64_t seed = 1;
+  simmpi::Dtype dt = simmpi::Dtype::f32;   // paper: MPI_FLOAT
+  simmpi::ReduceOp op = simmpi::ReduceOp::sum;  // paper: MPI_SUM
+};
+
+struct MeasureResult {
+  double avg_us = 0.0;
+  double best_us = 0.0;
+  double worst_us = 0.0;
+  bool verified = true;        // always true in metadata-only runs
+  std::uint64_t events = 0;    // engine events processed (sanity/diagnostics)
+};
+
+MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
+                                int ppn, std::size_t bytes,
+                                const AllreduceSpec& spec,
+                                const MeasureOptions& opt = {});
+
+}  // namespace dpml::core

@@ -1,0 +1,143 @@
+#include "core/selection.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dpml::core {
+
+namespace {
+constexpr std::size_t kCatchAll = std::numeric_limits<std::size_t>::max();
+}
+
+SelectionTable::SelectionTable(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  validate();
+}
+
+void SelectionTable::validate() const {
+  DPML_CHECK_MSG(!entries_.empty(), "selection table has no entries");
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (i + 1 == entries_.size()) {
+      DPML_CHECK_MSG(e.max_bytes == kCatchAll,
+                     "selection table must end with a catch-all entry");
+    } else {
+      DPML_CHECK_MSG(e.max_bytes != kCatchAll,
+                     "catch-all entry must be last");
+      DPML_CHECK_MSG(i == 0 || e.max_bytes > prev,
+                     "selection thresholds must be strictly ascending");
+    }
+    prev = e.max_bytes;
+  }
+}
+
+const AllreduceSpec& SelectionTable::select(std::size_t bytes) const {
+  DPML_CHECK_MSG(!entries_.empty(), "selecting from an empty table");
+  for (const Entry& e : entries_) {
+    if (bytes <= e.max_bytes) return e.spec;
+  }
+  return entries_.back().spec;
+}
+
+std::string SelectionTable::serialize() const {
+  std::ostringstream os;
+  os << "# dpml allreduce selection table\n";
+  for (const Entry& e : entries_) {
+    if (e.max_bytes == kCatchAll) {
+      os << "*";
+    } else {
+      os << "<=" << e.max_bytes;
+    }
+    os << "  " << algorithm_name(e.spec.algo);
+    if (e.spec.algo == Algorithm::dpml) {
+      os << " " << e.spec.leaders << " " << e.spec.pipeline_k;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+SelectionTable SelectionTable::parse(const std::string& text) {
+  std::vector<Entry> entries;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string bound;
+    if (!(ls >> bound)) continue;  // blank line
+    Entry e;
+    if (bound == "*") {
+      e.max_bytes = kCatchAll;
+    } else {
+      DPML_CHECK_MSG(bound.rfind("<=", 0) == 0,
+                     "selection entry must start with '<=' or '*': " + bound);
+      e.max_bytes = std::stoull(bound.substr(2));
+    }
+    std::string algo;
+    DPML_CHECK_MSG(static_cast<bool>(ls >> algo),
+                   "selection entry missing algorithm: " + line);
+    e.spec.algo = algorithm_by_name(algo);
+    int leaders = 0;
+    if (ls >> leaders) {
+      e.spec.leaders = leaders;
+      int k = 0;
+      if (ls >> k) e.spec.pipeline_k = k;
+    }
+    entries.push_back(e);
+  }
+  return SelectionTable(std::move(entries));
+}
+
+SelectionTable SelectionTable::tune(const net::ClusterConfig& cfg, int nodes,
+                                    int ppn,
+                                    const std::vector<std::size_t>& probe_sizes,
+                                    const MeasureOptions& opt) {
+  DPML_CHECK_MSG(!probe_sizes.empty(), "no probe sizes");
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < probe_sizes.size(); ++i) {
+    const auto best = tune_allreduce(cfg, nodes, ppn, probe_sizes[i], opt).best;
+    Entry e;
+    e.max_bytes =
+        i + 1 == probe_sizes.size() ? kCatchAll : probe_sizes[i];
+    e.spec = best.spec;
+    e.spec.fabric = nullptr;  // tables are machine-independent
+    entries.push_back(e);
+  }
+  // Merge adjacent entries with identical specs (keeps tables small).
+  std::vector<Entry> merged;
+  for (const Entry& e : entries) {
+    if (!merged.empty() &&
+        merged.back().spec.algo == e.spec.algo &&
+        merged.back().spec.leaders == e.spec.leaders &&
+        merged.back().spec.pipeline_k == e.spec.pipeline_k) {
+      merged.back().max_bytes = e.max_bytes;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return SelectionTable(std::move(merged));
+}
+
+sim::CoTask<void> run_allreduce(coll::CollArgs args,
+                                const SelectionTable& table,
+                                sharp::SharpFabric* fabric) {
+  AllreduceSpec spec = table.select(args.bytes());
+  if (needs_fabric(spec.algo) || spec.algo == Algorithm::dpml_auto) {
+    spec.fabric = fabric;
+  }
+  if (needs_fabric(spec.algo) && spec.fabric == nullptr) {
+    // Graceful degradation on fabric-less platforms: fall back to the tuned
+    // host design family.
+    spec.algo = Algorithm::dpml;
+    spec.leaders = 1;
+  }
+  return run_allreduce(std::move(args), spec);
+}
+
+}  // namespace dpml::core

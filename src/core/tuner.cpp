@@ -1,0 +1,68 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpml::core {
+
+std::vector<AllreduceSpec> default_candidates(int ppn, bool has_sharp,
+                                              std::size_t bytes) {
+  std::vector<AllreduceSpec> out;
+  int prev = 0;
+  for (int l : {1, 2, 4, 8, 16}) {
+    const int eff = std::min(l, ppn);
+    if (eff == prev) continue;
+    prev = eff;
+    AllreduceSpec s;
+    s.algo = Algorithm::dpml;
+    s.leaders = eff;
+    out.push_back(s);
+    // Pipelined variants only make sense when the per-leader partition is
+    // still large (paper §4.2).
+    if (bytes / static_cast<std::size_t>(eff) >= 64 * 1024) {
+      for (int k : {2, 4, 8}) {
+        AllreduceSpec sp = s;
+        sp.pipeline_k = k;
+        out.push_back(sp);
+      }
+    }
+  }
+  if (has_sharp && bytes <= 4096) {
+    AllreduceSpec nl;
+    nl.algo = Algorithm::sharp_node_leader;
+    out.push_back(nl);
+    AllreduceSpec sl;
+    sl.algo = Algorithm::sharp_socket_leader;
+    out.push_back(sl);
+  }
+  return out;
+}
+
+TuneResult tune_allreduce(const net::ClusterConfig& cfg, int nodes, int ppn,
+                          std::size_t bytes,
+                          const std::vector<AllreduceSpec>& candidates,
+                          const MeasureOptions& opt) {
+  DPML_CHECK_MSG(!candidates.empty(), "empty candidate set");
+  TuneResult result;
+  for (const AllreduceSpec& cand : candidates) {
+    if (needs_fabric(cand.algo) && !cfg.has_sharp()) continue;
+    const MeasureResult m = measure_allreduce(cfg, nodes, ppn, bytes, cand, opt);
+    result.all.push_back(TunedEntry{cand, m.avg_us});
+  }
+  DPML_CHECK_MSG(!result.all.empty(), "no runnable candidates");
+  std::sort(result.all.begin(), result.all.end(),
+            [](const TunedEntry& a, const TunedEntry& b) {
+              return a.avg_us < b.avg_us;
+            });
+  result.best = result.all.front();
+  return result;
+}
+
+TuneResult tune_allreduce(const net::ClusterConfig& cfg, int nodes, int ppn,
+                          std::size_t bytes, const MeasureOptions& opt) {
+  return tune_allreduce(cfg, nodes, ppn, bytes,
+                        default_candidates(ppn, cfg.has_sharp(), bytes), opt);
+}
+
+}  // namespace dpml::core

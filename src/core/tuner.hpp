@@ -1,0 +1,43 @@
+// Empirical configuration tuner (paper §6.4).
+//
+// "We performed empirical evaluation of different configurations on the four
+// clusters and chose the best configuration for each message size." This
+// tuner does exactly that: sweep a candidate set (leader counts, pipeline
+// depths, SHArP designs) at a given shape and message size and return the
+// fastest. The Figure 9/10 benches use it to produce the paper's "proposed"
+// line; it is also part of the public API so downstream users can tune for
+// their own simulated platforms.
+#pragma once
+
+#include <vector>
+
+#include "core/measure.hpp"
+
+namespace dpml::core {
+
+struct TunedEntry {
+  AllreduceSpec spec;
+  double avg_us = 0.0;
+};
+
+struct TuneResult {
+  TunedEntry best;
+  std::vector<TunedEntry> all;  // every candidate, fastest first
+};
+
+// Candidate set mirroring the paper's sweep: DPML with leaders in
+// {1,2,4,8,16} (clamped to ppn, deduplicated), pipelined variants of the
+// largest leader count, and both SHArP designs when a fabric exists.
+std::vector<AllreduceSpec> default_candidates(int ppn, bool has_sharp,
+                                              std::size_t bytes);
+
+TuneResult tune_allreduce(const net::ClusterConfig& cfg, int nodes, int ppn,
+                          std::size_t bytes,
+                          const std::vector<AllreduceSpec>& candidates,
+                          const MeasureOptions& opt = {});
+
+// Convenience: default candidate set.
+TuneResult tune_allreduce(const net::ClusterConfig& cfg, int nodes, int ppn,
+                          std::size_t bytes, const MeasureOptions& opt = {});
+
+}  // namespace dpml::core

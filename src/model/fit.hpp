@@ -1,0 +1,33 @@
+// LogGP-style parameter extraction from the simulated transport.
+//
+// Mirrors how the paper's lineage measures model constants on real machines
+// (Kielmann et al., "Fast Measurement of LogP Parameters"): run pingpong and
+// streaming microbenchmarks on the target and fit (a, b, a', b', c). Here
+// the "machine" is the simulator, so fitting doubles as a consistency check
+// between the configured hardware constants and what the transport actually
+// delivers end-to-end (protocol overheads included).
+#pragma once
+
+#include "model/model.hpp"
+#include "net/cluster.hpp"
+
+namespace dpml::model {
+
+struct FittedParams {
+  double a = 0;    // inter-node small-message latency (s)
+  double b = 0;    // inter-node per-byte cost (s/B), from large messages
+  double a2 = 0;   // shared-memory copy startup (s)
+  double b2 = 0;   // shared-memory per-byte cost (s/B)
+  double c = 0;    // reduction per-byte cost (s/B)
+};
+
+// Measure the transport with microbenchmarks and fit the model constants.
+// `probe_bytes` is the large-message size used for the bandwidth fits.
+FittedParams fit_from_simulation(const net::ClusterConfig& cfg,
+                                 std::size_t probe_bytes = 1 << 20);
+
+// Convenience: a full model Params built from fitted constants.
+Params fitted_params(const net::ClusterConfig& cfg, int nodes, int ppn,
+                     int leaders, std::size_t bytes, int k = 1);
+
+}  // namespace dpml::model

@@ -1,0 +1,76 @@
+#include "model/model.hpp"
+
+#include <cmath>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace dpml::model {
+
+int ceil_lg(int x) {
+  DPML_CHECK(x >= 1);
+  int lg = 0;
+  int v = 1;
+  while (v < x) {
+    v *= 2;
+    ++lg;
+  }
+  return lg;
+}
+
+double t_recursive_doubling(const Params& m) {
+  return ceil_lg(m.p) * (m.a + m.n * m.b + m.n * m.c);
+}
+
+double t_copy(const Params& m) {
+  return m.l * (m.a2 + m.b2 * (m.n / m.l));
+}
+
+double t_comp(const Params& m) {
+  const double ppn_over_l = static_cast<double>(m.p) / (m.h * m.l);
+  return (ppn_over_l - 1.0) * m.n * m.c;
+}
+
+double t_comm(const Params& m) {
+  if (m.h <= 1) return 0.0;
+  return ceil_lg(m.h) * (m.a + m.n * m.b / m.l + m.n * m.c / m.l);
+}
+
+double t_comm_pipelined(const Params& m) {
+  if (m.h <= 1) return 0.0;
+  // Eq (5): transfer and compute amortize across sub-partitions; only the
+  // startup term multiplies by k.
+  return ceil_lg(m.h) * (m.a * m.k + m.n * m.b / m.l + m.n * m.c / m.l);
+}
+
+double t_bcast(const Params& m) {
+  return m.l * (m.a2 + m.b2 * (m.n / m.l));
+}
+
+double t_dpml(const Params& m) {
+  const double comm = m.k > 1 ? t_comm_pipelined(m) : t_comm(m);
+  return t_copy(m) + t_comp(m) + comm + t_bcast(m);
+}
+
+Params from_cluster(const net::ClusterConfig& cfg, int nodes, int ppn,
+                    int leaders, std::size_t bytes, int k) {
+  DPML_CHECK(nodes >= 1 && ppn >= 1 && leaders >= 1 && k >= 1);
+  Params m;
+  m.p = nodes * ppn;
+  m.h = nodes;
+  m.l = leaders;
+  m.n = static_cast<double>(bytes);
+  m.k = k;
+  const auto& nic = cfg.nic;
+  // Worst-case fabric path: node-leaf-core-leaf-node (4 wires, 3 switches).
+  const double path = sim::to_seconds(4 * nic.wire_latency +
+                                      3 * nic.switch_latency);
+  m.a = sim::to_seconds(nic.o_send + nic.o_recv + nic.per_msg_tx) + path;
+  m.b = 1.0 / (nic.proc_bw * 1e9);
+  m.a2 = sim::to_seconds(cfg.host.copy_startup);
+  m.b2 = 1.0 / (cfg.host.copy_bw * 1e9);
+  m.c = cfg.host.reduce_ns_per_byte * 1e-9;
+  return m;
+}
+
+}  // namespace dpml::model

@@ -1,0 +1,62 @@
+// Analytical cost model (paper §5, Equations 1-7).
+//
+// Rabenseifner's allreduce cost model extended by the paper to treat
+// shared-memory copies (a', b') separately from inter-node transfers (a, b).
+// All results are in seconds. The model deliberately ignores contention —
+// that is what the simulator adds — so the model-vs-simulation bench shows
+// agreement in the uncontended regimes and quantifies the divergence where
+// contention dominates (flat algorithms at high ppn).
+#pragma once
+
+#include <cstddef>
+
+#include "net/cluster.hpp"
+
+namespace dpml::model {
+
+// Table 1 notation.
+struct Params {
+  int p = 1;        // number of MPI processes
+  int h = 1;        // number of nodes
+  int l = 1;        // leaders per node
+  double n = 0;     // input vector size in bytes
+  double a = 0;     // startup time per inter-node message (s)
+  double b = 0;     // transfer time per byte, inter-node (s/B)
+  double a2 = 0;    // a': startup time per shared-memory copy (s)
+  double b2 = 0;    // b': transfer time per byte, shared memory (s/B)
+  double c = 0;     // computation cost per byte of reduction (s/B)
+  int k = 1;        // sub-partitions in DPML-Pipelined
+};
+
+// ceil(lg x) for x >= 1.
+int ceil_lg(int x);
+
+// Eq (1): flat recursive doubling over p processes.
+double t_recursive_doubling(const Params& m);
+
+// Eq (2): phase 1, copy to local leaders.
+double t_copy(const Params& m);
+
+// Eq (3): phase 2, intra-node reduction by leaders.
+double t_comp(const Params& m);
+
+// Eq (4): phase 3, inter-node allreduce by leaders (recursive doubling).
+double t_comm(const Params& m);
+
+// Eq (5): phase 3 with k-way pipelining.
+double t_comm_pipelined(const Params& m);
+
+// Eq (6): phase 4, local copy back to individual processes.
+double t_bcast(const Params& m);
+
+// Eq (7): total DPML cost (uses Eq (5) when k > 1).
+double t_dpml(const Params& m);
+
+// Map a cluster preset's transport constants onto the model's parameters.
+// a: one full small-message path (send overhead + worst-case fabric path +
+// receive overhead); b: the per-process injection bottleneck; a'/b': the
+// shared-memory copy constants; c: the host reduction cost.
+Params from_cluster(const net::ClusterConfig& cfg, int nodes, int ppn,
+                    int leaders, std::size_t bytes, int k = 1);
+
+}  // namespace dpml::model

@@ -1,0 +1,81 @@
+// Hardware model parameters.
+//
+// These structs hold the constants of the performance model described in
+// DESIGN.md §3. They are plain data: the charging rules live in simmpi (for
+// host/NIC paths) and sharp (for in-network aggregation). Units: simulated
+// picoseconds (sim::Time) for latencies, decimal GB/s for bandwidths,
+// ns-per-byte for compute costs.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace dpml::net {
+
+// Per-node host-side costs: memory copies, reductions, intra-node signalling.
+struct HostModel {
+  // Reduction compute cost per byte (one elementwise combine of two operands).
+  double reduce_ns_per_byte = 0.20;
+  // Per-process streaming copy bandwidth through shared memory (GB/s).
+  double copy_bw = 5.0;
+  // Copy bandwidth when source and destination are on different sockets.
+  double copy_bw_xsocket = 3.0;
+  // Startup cost of a shared-memory copy (the model's a').
+  sim::Time copy_startup = sim::ns(150);
+  // Extra one-way latency for crossing the socket interconnect (QPI/UPI).
+  sim::Time xsocket_latency = sim::ns(300);
+  // Aggregate memory bandwidth of the node (GB/s); concurrent copies queue
+  // on this pipe once per-process bandwidth no longer binds.
+  double mem_agg_bw = 60.0;
+  // Cost of signalling another local process via a shared-memory flag.
+  sim::Time flag_latency = sim::ns(100);
+  // Leader-side per-contributor collection cost: checking a peer's flag and
+  // pulling its cache lines when gathering contributions. Paid serially per
+  // contributor by the gathering leader; crossing the socket interconnect
+  // costs more (the overhead the socket-leader SHArP design avoids).
+  sim::Time gather_poll = sim::ns(50);
+  sim::Time gather_poll_xsocket = sim::ns(150);
+};
+
+// NIC / fabric endpoint model (LogGP-flavoured, see DESIGN.md §3).
+struct NicModel {
+  sim::Time o_send = sim::ns(300);   // per-message sender CPU overhead
+  sim::Time o_recv = sim::ns(300);   // per-message receiver CPU overhead
+  double proc_bw = 2.5;              // per-process injection bandwidth (GB/s)
+  double link_bw = 12.0;             // node link bandwidth (GB/s)
+  sim::Time per_msg_tx = sim::ns(10);  // NIC per-message processing (TX/RX)
+  sim::Time wire_latency = sim::ns(150);   // per-link flight time
+  sim::Time switch_latency = sim::ns(120); // per-switch forwarding delay
+  std::size_t rendezvous_threshold = 16 * 1024;  // eager/rendezvous switch
+};
+
+// In-network aggregation (SHArP-like switch reduction trees).
+struct SharpModel {
+  // Fixed processing cost per aggregation-tree level per operation.
+  sim::Time level_overhead = sim::ns(500);
+  // Streaming aggregation cost per byte per tree level. SHArP hardware is
+  // built for latency-sensitive small payloads; per-byte cost is well above
+  // host-CPU reduction cost, which produces the observed ~4KB crossover.
+  double agg_ns_per_byte = 2.0;
+  // Maximum payload accepted per operation; larger vectors are rejected by
+  // the runtime (the paper only evaluates SHArP for small messages).
+  std::size_t max_payload = 1 << 20;
+  // Bounded concurrency: number of simultaneously outstanding operations the
+  // fabric supports. This is why DPML cannot simply give every leader its
+  // own SHArP communicator (paper §4.3).
+  int max_outstanding_ops = 4;
+  // Maximum number of SHArP communicators (groups) the fabric can host.
+  int max_groups = 8;
+};
+
+// Physical shape of one compute node.
+struct NodeShape {
+  int sockets = 2;
+  int cores_per_socket = 14;
+  int hcas = 1;
+
+  int cores() const { return sockets * cores_per_socket; }
+};
+
+}  // namespace dpml::net

@@ -1,0 +1,62 @@
+// Fat-tree fabric topology.
+//
+// Two-level fat tree: nodes attach to leaf switches (`nodes_per_leaf` each),
+// leaf switches attach to a core layer assumed non-blocking at the modelled
+// scales (paper §6.1 describes 5/4-oversubscribed fat trees; collective
+// traffic at these node counts does not saturate the core in the paper's
+// experiments, so core contention is not modelled — documented substitution).
+#pragma once
+
+#include "net/models.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace dpml::net {
+
+class FabricTopology {
+ public:
+  FabricTopology(int num_nodes, int nodes_per_leaf)
+      : num_nodes_(num_nodes), nodes_per_leaf_(nodes_per_leaf) {
+    DPML_CHECK(num_nodes >= 1);
+    DPML_CHECK(nodes_per_leaf >= 1);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  int nodes_per_leaf() const { return nodes_per_leaf_; }
+  int num_leaves() const {
+    return (num_nodes_ + nodes_per_leaf_ - 1) / nodes_per_leaf_;
+  }
+
+  int leaf_of(int node) const {
+    DPML_CHECK(node >= 0 && node < num_nodes_);
+    return node / nodes_per_leaf_;
+  }
+
+  // Number of physical links traversed between two nodes (0 if same node):
+  // same leaf -> node-leaf-node (2 links); otherwise node-leaf-core-leaf-node
+  // (4 links).
+  int links_between(int a, int b) const {
+    if (a == b) return 0;
+    return leaf_of(a) == leaf_of(b) ? 2 : 4;
+  }
+
+  // One-way wire+switch latency between two nodes for the given NIC model.
+  sim::Time path_latency(int a, int b, const NicModel& nic) const {
+    const int links = links_between(a, b);
+    if (links == 0) return 0;
+    const int switches = links - 1;
+    return links * nic.wire_latency + switches * nic.switch_latency;
+  }
+
+  // Depth of the switch aggregation tree above a set of nodes: 1 level if
+  // they all share a leaf switch, 2 (leaf + core) otherwise.
+  int aggregation_levels(int lowest_node, int highest_node) const {
+    return leaf_of(lowest_node) == leaf_of(highest_node) ? 1 : 2;
+  }
+
+ private:
+  int num_nodes_;
+  int nodes_per_leaf_;
+};
+
+}  // namespace dpml::net

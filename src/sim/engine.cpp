@@ -1,0 +1,71 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "sim/sync.hpp"
+#include "util/error.hpp"
+
+namespace dpml::sim {
+
+void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
+  DPML_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  queue_.push(Event{t, seq_++, h, {}});
+}
+
+void Engine::schedule_fn(Time t, std::function<void()> fn) {
+  DPML_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  queue_.push(Event{t, seq_++, {}, std::move(fn)});
+}
+
+Engine::Detached Engine::run_detached(CoTask<void> task,
+                                      std::shared_ptr<Flag> done) {
+  ++live_tasks_;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+  --live_tasks_;
+  if (done) done->post();
+}
+
+void Engine::spawn(CoTask<void> task) {
+  run_detached(std::move(task), nullptr);
+}
+
+std::shared_ptr<Flag> Engine::spawn_sub(CoTask<void> task) {
+  auto done = std::make_shared<Flag>(*this);
+  run_detached(std::move(task), done);
+  return done;
+}
+
+void Engine::record_error(std::exception_ptr e) {
+  if (!error_) error_ = e;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    DPML_CHECK(ev.t >= now_);
+    now_ = ev.t;
+    ++events_processed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+    if (error_) break;
+  }
+  if (error_) {
+    auto e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+  if (live_tasks_ > 0) {
+    throw util::DeadlockError(
+        "simulation deadlock: event queue drained with " +
+        std::to_string(live_tasks_) + " simulated process(es) still blocked");
+  }
+}
+
+}  // namespace dpml::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns the event queue and the global simulated clock. Simulated
+// processes are CoTask coroutines spawned onto the engine; they advance the
+// clock only by awaiting delay()/until() or synchronization primitives.
+// Events scheduled for the same instant fire in schedule order (a strictly
+// monotone sequence number breaks ties), so runs are bitwise deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace dpml::sim {
+
+class Flag;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedule a coroutine resume / callback at absolute time `t` (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+  void schedule_fn(Time t, std::function<void()> fn);
+
+  // Awaitable that resumes the caller after `d` picoseconds.
+  // A non-positive delay resumes without suspension.
+  auto delay(Time d) { return DelayAwaiter{*this, now_ + (d > 0 ? d : 0)}; }
+  auto until(Time t) { return DelayAwaiter{*this, t}; }
+
+  // Run `task` as a detached simulated process. The engine tracks liveness:
+  // run() reports a deadlock if the queue drains while processes are blocked.
+  void spawn(CoTask<void> task);
+
+  // Run `task` as a sub-operation; the returned Flag posts on completion.
+  // Used for non-blocking operations (isend/irecv/iallreduce).
+  std::shared_ptr<Flag> spawn_sub(CoTask<void> task);
+
+  // Process events until the queue is empty or a spawned task fails.
+  // Rethrows the first task exception; throws util::DeadlockError if
+  // processes remain blocked with no pending events.
+  void run();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  int live_tasks() const { return live_tasks_; }
+
+  // Record a task failure (used by the spawn wrapper; also available to
+  // runtime components that detect fatal conditions outside a task).
+  void record_error(std::exception_ptr e);
+
+  struct DelayAwaiter {
+    Engine& engine;
+    Time at;
+    bool await_ready() const noexcept { return at <= engine.now(); }
+    void await_suspend(std::coroutine_handle<> h) { engine.schedule_at(at, h); }
+    void await_resume() const noexcept {}
+  };
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // preferred: resume directly
+    std::function<void()> fn;            // fallback: arbitrary callback
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Detached wrapper coroutine: owns the task, maintains the live count,
+  // captures exceptions, posts the optional completion flag.
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() { return {}; }
+      std::suspend_never initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() noexcept { std::terminate(); }
+    };
+  };
+  Detached run_detached(CoTask<void> task, std::shared_ptr<Flag> done);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  int live_tasks_ = 0;
+  std::exception_ptr error_{};
+};
+
+}  // namespace dpml::sim

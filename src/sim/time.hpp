@@ -1,0 +1,47 @@
+// Simulated time.
+//
+// Simulated time is a 64-bit signed count of picoseconds. Picosecond
+// resolution keeps per-byte costs (fractions of a nanosecond) exact enough
+// that event ordering is stable, while still representing ~106 days of
+// simulated time — far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace dpml::sim {
+
+using Time = std::int64_t;  // picoseconds
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time ns(double v) { return static_cast<Time>(v * kNanosecond); }
+constexpr Time us(double v) { return static_cast<Time>(v * kMicrosecond); }
+constexpr Time ms(double v) { return static_cast<Time>(v * kMillisecond); }
+
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_us(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_ns(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+// Time to move `bytes` at `gbps` gigabytes per second (decimal GB).
+constexpr Time transfer_time(std::uint64_t bytes, double gbytes_per_sec) {
+  if (gbytes_per_sec <= 0.0) return 0;
+  return static_cast<Time>(static_cast<double>(bytes) /
+                           (gbytes_per_sec * 1e9) *
+                           static_cast<double>(kSecond));
+}
+
+}  // namespace dpml::sim

@@ -1,0 +1,111 @@
+#include "simmpi/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dpml::simmpi {
+
+std::size_t dtype_size(Dtype dt) {
+  switch (dt) {
+    case Dtype::f32: return 4;
+    case Dtype::f64: return 8;
+    case Dtype::i32: return 4;
+    case Dtype::i64: return 8;
+    case Dtype::u8: return 1;
+  }
+  DPML_CHECK_MSG(false, "bad dtype");
+  return 0;
+}
+
+const char* dtype_name(Dtype dt) {
+  switch (dt) {
+    case Dtype::f32: return "f32";
+    case Dtype::f64: return "f64";
+    case Dtype::i32: return "i32";
+    case Dtype::i64: return "i64";
+    case Dtype::u8: return "u8";
+  }
+  return "?";
+}
+
+const char* op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::sum: return "sum";
+    case ReduceOp::prod: return "prod";
+    case ReduceOp::min: return "min";
+    case ReduceOp::max: return "max";
+    case ReduceOp::band: return "band";
+    case ReduceOp::bor: return "bor";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void combine_typed(ReduceOp op, std::size_t count, std::byte* acc_raw,
+                   const std::byte* in_raw) {
+  // Elementwise combine through memcpy to respect aliasing rules.
+  for (std::size_t i = 0; i < count; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, acc_raw + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, in_raw + i * sizeof(T), sizeof(T));
+    switch (op) {
+      case ReduceOp::sum: a = a + b; break;
+      case ReduceOp::prod: a = a * b; break;
+      case ReduceOp::min: a = std::min(a, b); break;
+      case ReduceOp::max: a = std::max(a, b); break;
+      case ReduceOp::band:
+        if constexpr (std::is_integral_v<T>) {
+          a = a & b;
+        } else {
+          DPML_CHECK_MSG(false, "bitwise op on floating-point dtype");
+        }
+        break;
+      case ReduceOp::bor:
+        if constexpr (std::is_integral_v<T>) {
+          a = a | b;
+        } else {
+          DPML_CHECK_MSG(false, "bitwise op on floating-point dtype");
+        }
+        break;
+    }
+    std::memcpy(acc_raw + i * sizeof(T), &a, sizeof(T));
+  }
+}
+
+}  // namespace
+
+void reduce_inplace(ReduceOp op, Dtype dt, std::size_t count, MutBytes acc,
+                    ConstBytes in) {
+  if (acc.empty() && in.empty()) return;  // metadata-only run
+  const std::size_t bytes = count * dtype_size(dt);
+  DPML_CHECK_MSG(acc.size() == bytes && in.size() == bytes,
+                 "reduce_inplace span size mismatch");
+  if (count == 0) return;
+  switch (dt) {
+    case Dtype::f32: combine_typed<float>(op, count, acc.data(), in.data()); break;
+    case Dtype::f64: combine_typed<double>(op, count, acc.data(), in.data()); break;
+    case Dtype::i32: combine_typed<std::int32_t>(op, count, acc.data(), in.data()); break;
+    case Dtype::i64: combine_typed<std::int64_t>(op, count, acc.data(), in.data()); break;
+    case Dtype::u8: combine_typed<std::uint8_t>(op, count, acc.data(), in.data()); break;
+  }
+}
+
+void Op::apply(Dtype dt, std::size_t count, MutBytes acc, ConstBytes in) const {
+  if (user_) {
+    if (acc.empty() && in.empty()) return;
+    user_(dt, count, acc, in);
+    return;
+  }
+  reduce_inplace(builtin_, dt, count, acc, in);
+}
+
+std::string Op::name() const {
+  return user_ ? "user" : op_name(builtin_);
+}
+
+}  // namespace dpml::simmpi

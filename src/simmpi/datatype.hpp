@@ -1,0 +1,57 @@
+// Reduction datatypes and operators.
+//
+// The simulated runtime moves real bytes, so reductions are verifiable
+// bit-for-bit. A small fixed set of datatypes covers everything the paper's
+// workloads use (MPI_FLOAT for the microbenchmarks, MPI_DOUBLE for HPCG
+// DDOT, integers for miniAMR refinement flags), plus a user-defined-op hook.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace dpml::simmpi {
+
+using ConstBytes = std::span<const std::byte>;
+using MutBytes = std::span<std::byte>;
+
+enum class Dtype : std::uint8_t { f32, f64, i32, i64, u8 };
+
+std::size_t dtype_size(Dtype dt);
+const char* dtype_name(Dtype dt);
+
+enum class ReduceOp : std::uint8_t { sum, prod, min, max, band, bor };
+
+const char* op_name(ReduceOp op);
+
+// Elementwise acc = acc (op) in, over count elements of dtype dt.
+// Both spans may be empty (metadata-only simulation) — then this is a no-op.
+// If non-empty, both must hold exactly count * dtype_size(dt) bytes.
+void reduce_inplace(ReduceOp op, Dtype dt, std::size_t count, MutBytes acc,
+                    ConstBytes in);
+
+// User-defined reduction: acc = f(acc, in) elementwise on raw bytes.
+using UserOpFn =
+    std::function<void(Dtype, std::size_t count, MutBytes acc, ConstBytes in)>;
+
+// An operator handle: either a builtin ReduceOp or a user function.
+// Builtin ops on band/bor over floating types throw.
+class Op {
+ public:
+  Op(ReduceOp builtin) : builtin_(builtin) {}  // NOLINT: implicit by design
+  explicit Op(UserOpFn fn) : user_(std::move(fn)) {}
+
+  bool is_user() const { return static_cast<bool>(user_); }
+  ReduceOp builtin() const { return builtin_; }
+
+  void apply(Dtype dt, std::size_t count, MutBytes acc, ConstBytes in) const;
+  std::string name() const;
+
+ private:
+  ReduceOp builtin_ = ReduceOp::sum;
+  UserOpFn user_{};
+};
+
+}  // namespace dpml::simmpi

@@ -1,0 +1,601 @@
+#include "simmpi/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace dpml::simmpi {
+
+using sim::Time;
+using sim::transfer_time;
+
+namespace {
+
+std::vector<std::byte> own_copy(ConstBytes data) {
+  return std::vector<std::byte>(data.begin(), data.end());
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node
+
+Node::Node(Machine& m, int id)
+    : machine_(m), id_(id), mem_("node" + std::to_string(id) + ".mem") {
+  const int hcas = std::max(1, m.config().node.hcas);
+  for (int h = 0; h < hcas; ++h) {
+    tx_.emplace_back("node" + std::to_string(id) + ".tx" + std::to_string(h));
+    rx_.emplace_back("node" + std::to_string(id) + ".rx" + std::to_string(h));
+  }
+}
+
+CollSlot& Node::slot(std::int64_t key) { return slots_[key]; }
+
+void Node::release_slot(std::int64_t key, int parties) {
+  auto it = slots_.find(key);
+  DPML_CHECK_MSG(it != slots_.end(), "releasing unknown collective slot");
+  if (++it->second.released == parties) slots_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Rank
+
+Rank::Rank(Machine& m, int world_rank)
+    : machine_(&m), world_rank_(world_rank) {
+  node_id_ = world_rank / m.ppn();
+  local_rank_ = world_rank % m.ppn();
+  socket_ = m.socket_of_local(local_rank_);
+}
+
+sim::Engine& Rank::engine() { return machine_->engine(); }
+Node& Rank::node() { return machine_->node(node_id_); }
+
+sim::CoTask<void> Rank::busy(Time t) { co_await engine().delay(t); }
+
+Time Rank::reduce_cost(std::size_t bytes) const {
+  return static_cast<Time>(static_cast<double>(bytes) *
+                           machine_->config().host.reduce_ns_per_byte *
+                           static_cast<double>(sim::kNanosecond));
+}
+
+sim::CoTask<void> Rank::reduce_compute(std::size_t bytes) {
+  // A reduction streams its operands through the node's memory system, so
+  // concurrent reducers (multiple DPML leaders, or a full node of flat-
+  // algorithm ranks) share the aggregate memory pipe. This is the physical
+  // effect that makes leader counts plateau (paper §6.2/§6.4: 16 leaders is
+  // near-optimal; beyond that the node is memory-bound, not compute-bound).
+  machine_->stats_.reduce_bytes += bytes;
+  const Time t0 = engine().now();
+  const Time proc_done = t0 + reduce_cost(bytes);
+  const Time mem_done = node().mem().acquire(
+      t0, transfer_time(bytes, machine_->config().host.mem_agg_bw));
+  const Time done = std::max(proc_done, mem_done);
+  machine_->trace("reduce", "compute", world_rank_, t0, done);
+  co_await engine().until(done);
+}
+
+sim::CoTask<void> Rank::send(const Comm& comm, int dst, int tag,
+                             std::size_t bytes, ConstBytes data) {
+  return machine_->do_send(*this, comm.world_rank(dst), comm.context(), tag,
+                           bytes, data);
+}
+
+sim::CoTask<RecvResult> Rank::recv(const Comm& comm, int src, int tag,
+                                   std::size_t capacity, MutBytes out) {
+  const int src_world = src == kAnySource ? kAnySource : comm.world_rank(src);
+  return machine_->do_recv(*this, src_world, comm.context(), tag, capacity,
+                           out);
+}
+
+std::shared_ptr<sim::Flag> Rank::isend(const Comm& comm, int dst, int tag,
+                                       std::size_t bytes, ConstBytes data) {
+  return engine().spawn_sub(send(comm, dst, tag, bytes, data));
+}
+
+namespace {
+sim::CoTask<void> irecv_body(sim::CoTask<RecvResult> op,
+                             std::shared_ptr<RecvResult> out) {
+  *out = co_await std::move(op);
+}
+}  // namespace
+
+RecvHandle Rank::irecv(const Comm& comm, int src, int tag,
+                       std::size_t capacity, MutBytes out) {
+  auto result = std::make_shared<RecvResult>();
+  auto done = engine().spawn_sub(
+      irecv_body(recv(comm, src, tag, capacity, out), result));
+  return RecvHandle{std::move(done), std::move(result)};
+}
+
+sim::CoTask<RecvResult> Rank::sendrecv(const Comm& comm, int dst, int send_tag,
+                                       std::size_t send_bytes, int src,
+                                       int recv_tag,
+                                       std::size_t recv_capacity,
+                                       ConstBytes send_data,
+                                       MutBytes recv_out) {
+  auto sf = isend(comm, dst, send_tag, send_bytes, send_data);
+  const RecvResult res =
+      co_await recv(comm, src, recv_tag, recv_capacity, recv_out);
+  co_await sf->wait();
+  co_return res;
+}
+
+bool Rank::iprobe(const Comm& comm, int src, int tag, RecvResult* info) {
+  const int src_world = src == kAnySource ? kAnySource : comm.world_rank(src);
+  const Envelope* env = matcher_.peek(comm.context(), src_world, tag);
+  if (env == nullptr) return false;
+  if (info != nullptr) {
+    info->bytes = env->bytes;
+    info->src = env->src;
+    info->tag = env->tag;
+  }
+  return true;
+}
+
+sim::CoTask<RecvResult> Rank::probe(const Comm& comm, int src, int tag) {
+  RecvResult info;
+  while (!iprobe(comm, src, tag, &info)) {
+    sim::Flag arrived(engine());
+    matcher_.watch_arrivals(&arrived);
+    co_await arrived.wait();
+  }
+  co_return info;
+}
+
+sim::CoTask<void> Rank::shm_put(ShmWindow& w, std::size_t offset,
+                                std::size_t bytes, ConstBytes src) {
+  return machine_->do_shm_copy(*this, w, offset, bytes, src, {}, /*is_put=*/true);
+}
+
+sim::CoTask<void> Rank::shm_get(ShmWindow& w, std::size_t offset,
+                                std::size_t bytes, MutBytes dst) {
+  return machine_->do_shm_copy(*this, w, offset, bytes, {}, dst, /*is_put=*/false);
+}
+
+sim::CoTask<void> Rank::signal(sim::Flag& f) {
+  co_await engine().delay(machine_->config().host.flag_latency);
+  f.post();
+}
+
+sim::CoTask<void> Rank::signal(sim::Latch& l) {
+  co_await engine().delay(machine_->config().host.flag_latency);
+  l.arrive();
+}
+
+std::int64_t Rank::next_coll_key(int context) {
+  const std::int64_t seq = coll_seq_[context]++;
+  return (static_cast<std::int64_t>(context) << 32) | seq;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+
+Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
+    : cfg_(std::move(cfg)),
+      opt_(opt),
+      nodes_used_(nodes),
+      ppn_(ppn),
+      topo_(nodes, cfg_.nodes_per_leaf) {
+  DPML_CHECK_MSG(nodes >= 1, "need at least one node");
+  DPML_CHECK_MSG(nodes <= cfg_.total_nodes,
+                 "cluster '" + cfg_.name + "' has only " +
+                     std::to_string(cfg_.total_nodes) + " nodes");
+  DPML_CHECK_MSG(ppn >= 1 && ppn <= cfg_.max_ppn(),
+                 "ppn out of range for cluster '" + cfg_.name + "'");
+  for (int i = 0; i < nodes; ++i) nodes_.emplace_back(*this, i);
+  std::vector<int> world_ranks(static_cast<std::size_t>(nodes) * ppn);
+  for (int i = 0; i < static_cast<int>(world_ranks.size()); ++i) {
+    world_ranks[i] = i;
+  }
+  world_ = Comm(0, std::move(world_ranks));
+  for (int w = 0; w < world_size(); ++w) ranks_.emplace_back(*this, w);
+  if (cfg_.oversubscription > 1.0) {
+    core_bw_ = cfg_.nic.link_bw * cfg_.nodes_per_leaf / cfg_.oversubscription;
+    for (int leafidx = 0; leafidx < topo_.num_leaves(); ++leafidx) {
+      leaf_up_.emplace_back("leaf" + std::to_string(leafidx) + ".up");
+      leaf_down_.emplace_back("leaf" + std::to_string(leafidx) + ".down");
+    }
+  }
+}
+
+void Machine::route(int src_node, int dst_node, int dst_hca,
+                    sim::Time tx_start, sim::Time occupancy,
+                    std::size_t bytes, std::function<void(sim::Time)> complete) {
+  const net::NicModel& nic = cfg_.nic;
+  const bool same_leaf = topo_.leaf_of(src_node) == topo_.leaf_of(dst_node);
+  if (same_leaf || leaf_up_.empty()) {
+    const Time head = tx_start + topo_.path_latency(src_node, dst_node, nic);
+    engine_.schedule_fn(head, [this, dst_node, dst_hca, occupancy,
+                               complete = std::move(complete)]() {
+      const Time rx_done =
+          node(dst_node).rx(dst_hca).acquire(engine_.now(), occupancy);
+      complete(rx_done);
+    });
+    return;
+  }
+  // Cross-leaf: node -> leaf -> (uplink) core -> (downlink) leaf -> node.
+  // The per-leaf uplink/downlink pools model the oversubscribed core.
+  const Time hop = nic.wire_latency + nic.switch_latency;
+  const Time occ_core = transfer_time(bytes, core_bw_);
+  const int src_leaf = topo_.leaf_of(src_node);
+  const int dst_leaf = topo_.leaf_of(dst_node);
+  engine_.schedule_fn(tx_start + hop, [this, src_leaf, dst_leaf, dst_node,
+                                       dst_hca, occupancy, occ_core, hop,
+                                       complete = std::move(complete)]() {
+    const auto up = leaf_up_[static_cast<std::size_t>(src_leaf)].acquire_grant(
+        engine_.now(), occ_core);
+    engine_.schedule_fn(up.start + hop, [this, dst_leaf, dst_node, dst_hca,
+                                         occupancy, occ_core, hop,
+                                         complete]() {
+      const auto dn =
+          leaf_down_[static_cast<std::size_t>(dst_leaf)].acquire_grant(
+              engine_.now(), occ_core);
+      // core -> destination leaf switch -> destination node.
+      engine_.schedule_fn(
+          dn.start + cfg_.nic.switch_latency + cfg_.nic.wire_latency,
+          [this, dst_node, dst_hca, occupancy, complete]() {
+            const Time rx_done =
+                node(dst_node).rx(dst_hca).acquire(engine_.now(), occupancy);
+            complete(rx_done);
+          });
+    });
+  });
+}
+
+Rank& Machine::rank(int world_rank) {
+  DPML_CHECK(world_rank >= 0 && world_rank < world_size());
+  return ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+Node& Machine::node(int id) {
+  DPML_CHECK(id >= 0 && id < nodes_used_);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Machine::socket_of_local(int local_rank) const {
+  DPML_CHECK(local_rank >= 0 && local_rank < ppn_);
+  const int per_socket = ceil_div(ppn_, cfg_.node.sockets);
+  return local_rank / per_socket;
+}
+
+int Machine::hca_of_local(int local_rank) const {
+  const int hcas = std::max(1, cfg_.node.hcas);
+  if (hcas == 1) return 0;
+  // Map the rank's socket onto the rails (sockets >= hcas: group sockets;
+  // hcas > sockets: spread local ranks round-robin within the socket).
+  const int sockets = cfg_.node.sockets;
+  if (hcas <= sockets) {
+    return socket_of_local(local_rank) * hcas / sockets;
+  }
+  return local_rank % hcas;
+}
+
+sim::Time Machine::collection_cost(int leader_local, int lo_local,
+                                   int hi_local) const {
+  DPML_CHECK(lo_local >= 0 && hi_local <= ppn_);
+  const int leader_socket = socket_of_local(leader_local);
+  Time cost = 0;
+  for (int i = lo_local; i < hi_local; ++i) {
+    if (i == leader_local) continue;
+    cost += socket_of_local(i) == leader_socket
+                ? cfg_.host.gather_poll
+                : cfg_.host.gather_poll_xsocket;
+  }
+  return cost;
+}
+
+int Machine::leader_local_rank(int leader_index, int num_leaders) const {
+  DPML_CHECK(num_leaders >= 1 && num_leaders <= ppn_);
+  DPML_CHECK(leader_index >= 0 && leader_index < num_leaders);
+  // Spread leaders evenly across local ranks (and therefore across sockets,
+  // since ranks are socket-major): leader j sits at floor(j * ppn / l).
+  return static_cast<int>((static_cast<std::int64_t>(leader_index) * ppn_) /
+                          num_leaders);
+}
+
+int Machine::leader_index_of_local(int lr, int num_leaders) const {
+  const int j = static_cast<int>(
+      (static_cast<std::int64_t>(lr) * num_leaders + ppn_ - 1) / ppn_);
+  if (j < num_leaders && leader_local_rank(j, num_leaders) == lr) return j;
+  return -1;
+}
+
+const Comm& Machine::leader_comm(int leader_index, int num_leaders) {
+  const std::int64_t key =
+      static_cast<std::int64_t>(num_leaders) * 4096 + leader_index;
+  auto it = leader_comms_.find(key);
+  if (it != leader_comms_.end()) return it->second;
+  const int lr = leader_local_rank(leader_index, num_leaders);
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(nodes_used_));
+  for (int n = 0; n < nodes_used_; ++n) members.push_back(n * ppn_ + lr);
+  auto [ins, ok] =
+      leader_comms_.emplace(key, Comm(alloc_context(), std::move(members)));
+  DPML_CHECK(ok);
+  return ins->second;
+}
+
+const Comm& Machine::split_comm(const Comm& parent,
+                                const std::vector<int>& colors,
+                                const std::vector<int>& keys, int my_color) {
+  DPML_CHECK_MSG(static_cast<int>(colors.size()) == parent.size() &&
+                     static_cast<int>(keys.size()) == parent.size(),
+                 "split_comm needs one color and key per parent member");
+  if (my_color < 0) return null_comm_;  // MPI_UNDEFINED
+  // Cache key: every member of one logical split passes identical arrays,
+  // so content-addressing yields the same Comm (and context) for all.
+  std::string cache_key = std::to_string(parent.context()) + "|" +
+                          std::to_string(my_color);
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    cache_key += "," + std::to_string(colors[i]) + ":" +
+                 std::to_string(keys[i]);
+  }
+  auto it = split_cache_.find(cache_key);
+  if (it != split_cache_.end()) return it->second;
+  // Members of my color, ordered by (key, parent rank).
+  std::vector<std::pair<int, int>> order;  // (key, parent rank)
+  for (int pr = 0; pr < parent.size(); ++pr) {
+    if (colors[static_cast<std::size_t>(pr)] == my_color) {
+      order.emplace_back(keys[static_cast<std::size_t>(pr)], pr);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<int> members;
+  members.reserve(order.size());
+  for (const auto& [key, pr] : order) {
+    (void)key;
+    members.push_back(parent.world_rank(pr));
+  }
+  auto [ins, ok] = split_cache_.emplace(
+      cache_key, Comm(alloc_context(), std::move(members)));
+  DPML_CHECK(ok);
+  return ins->second;
+}
+
+const Comm& Machine::make_comm(std::vector<int> world_ranks) {
+  for (int w : world_ranks) DPML_CHECK(w >= 0 && w < world_size());
+  extra_comms_.emplace_back(alloc_context(), std::move(world_ranks));
+  return extra_comms_.back();
+}
+
+double Machine::avg_tx_utilization() const {
+  if (engine_.now() == 0) return 0.0;
+  double acc = 0.0;
+  double rails = 0.0;
+  for (const Node& n : nodes_) {
+    Node& nn = const_cast<Node&>(n);
+    for (int h = 0; h < nn.num_hcas(); ++h) {
+      acc += static_cast<double>(nn.tx(h).busy_time());
+      rails += 1.0;
+    }
+  }
+  return acc / (static_cast<double>(engine_.now()) * rails);
+}
+
+double Machine::avg_rx_utilization() const {
+  if (engine_.now() == 0) return 0.0;
+  double acc = 0.0;
+  double rails = 0.0;
+  for (const Node& n : nodes_) {
+    Node& nn = const_cast<Node&>(n);
+    for (int h = 0; h < nn.num_hcas(); ++h) {
+      acc += static_cast<double>(nn.rx(h).busy_time());
+      rails += 1.0;
+    }
+  }
+  return acc / (static_cast<double>(engine_.now()) * rails);
+}
+
+void Machine::run(const std::function<sim::CoTask<void>(Rank&)>& main) {
+  for (auto& r : ranks_) engine_.spawn(main(r));
+  engine_.run();
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+namespace {
+// Shared state between the rendezvous sender continuation and the match-time
+// callback running on the receiver side.
+struct RndvState {
+  explicit RndvState(sim::Engine& e) : cts(e) {}
+  sim::Flag cts;
+  PostedRecv* pr = nullptr;
+};
+}  // namespace
+
+sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
+                                   int tag, std::size_t bytes,
+                                   ConstBytes data) {
+  DPML_CHECK_MSG(data.empty() || data.size() == bytes,
+                 "send payload size mismatch");
+  Rank& dst = rank(dst_world);
+  const net::HostModel& host = cfg_.host;
+  const net::NicModel& nic = cfg_.nic;
+  const int src_world = sender.world_rank();
+
+  auto deliver_at = [this, dst_world](Time t, Envelope env) {
+    engine_.schedule_fn(t, [this, dst_world, env = std::move(env)]() mutable {
+      rank(dst_world).matcher().deliver(std::move(env));
+    });
+  };
+
+  if (dst.node_id() == sender.node_id()) {
+    // Intra-node: shared-memory transport (copy + flag).
+    DPML_CHECK_MSG(dst_world != src_world, "self-send is not supported");
+    const bool xsock = dst.socket() != sender.socket();
+    const double bw = xsock ? host.copy_bw_xsocket : host.copy_bw;
+    const Time t0 = engine_.now();
+    const Time proc_done = t0 + host.copy_startup +
+                           (xsock ? host.xsocket_latency : 0) +
+                           transfer_time(bytes, bw);
+    const Time mem_done = node(sender.node_id())
+                              .mem()
+                              .acquire(t0, transfer_time(bytes, host.mem_agg_bw));
+    const Time done = std::max(proc_done, mem_done);
+    stats_.shm_messages += 1;
+    stats_.shm_bytes += bytes;
+    trace("shm-send", "shm", src_world, t0, done);
+    Envelope env;
+    env.ctx = ctx;
+    env.src = src_world;
+    env.tag = tag;
+    env.bytes = bytes;
+    env.data = own_copy(data);
+    env.recv_cost = host.flag_latency;
+    deliver_at(done + host.flag_latency, std::move(env));
+    co_await engine_.until(done);
+    co_return;
+  }
+
+  const int src_node = sender.node_id();
+  const int dst_node = dst.node_id();
+  const int src_hca = hca_of_local(sender.local_rank());
+  const int dst_hca = hca_of_local(dst.local_rank());
+
+  // Inter-node data movement is pipelined: the per-process injection pipe,
+  // the node TX link, and the destination RX link each serialize the payload
+  // once, but they overlap in time (cut-through), so a single uncontended
+  // message pays the bottleneck stage only once. The sender's blocking call
+  // returns when its own injection pipe has drained (buffer reusable).
+  if (bytes < nic.rendezvous_threshold) {
+    stats_.net_messages += 1;
+    stats_.net_bytes += bytes;
+    co_await engine_.delay(nic.o_send);
+    const Time t0 = engine_.now();
+    const Time inj_done = t0 + transfer_time(bytes, nic.proc_bw);
+    const Time occupancy =
+        std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
+    const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
+    trace("net-send", "net", src_world, t0 - nic.o_send,
+          std::max(inj_done, tx.done));
+    Envelope env;
+    env.ctx = ctx;
+    env.src = src_world;
+    env.tag = tag;
+    env.bytes = bytes;
+    env.data = own_copy(data);
+    env.recv_cost = nic.o_recv;
+    route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes,
+          [deliver_at, env = std::move(env)](Time rx_done) mutable {
+            deliver_at(rx_done, std::move(env));
+          });
+    co_await engine_.until(inj_done);
+    co_return;
+  }
+
+  // Rendezvous: RTS control message, wait for CTS, then move the payload.
+  stats_.net_messages += 1;
+  stats_.net_bytes += bytes;
+  stats_.rndv_handshakes += 1;
+  co_await engine_.delay(nic.o_send);
+  auto state = std::make_shared<RndvState>(engine_);
+  {
+    const auto txg =
+        node(src_node).tx(src_hca).acquire_grant(engine_.now(), nic.per_msg_tx);
+    Envelope rts;
+    rts.ctx = ctx;
+    rts.src = src_world;
+    rts.tag = tag;
+    rts.bytes = bytes;
+    rts.recv_cost = nic.o_recv;
+    rts.rendezvous = true;
+    rts.on_match = [this, state, src_node, dst_node](PostedRecv& pr) {
+      state->pr = &pr;
+      // CTS control message back to the sender (receiver-side overhead plus
+      // the return path).
+      const Time cts_arrive = engine_.now() + cfg_.nic.o_send +
+                              topo_.path_latency(dst_node, src_node, cfg_.nic);
+      engine_.schedule_fn(cts_arrive, [state]() { state->cts.post(); });
+    };
+    route(src_node, dst_node, dst_hca, txg.start, nic.per_msg_tx, 0,
+          [deliver_at, rts = std::move(rts)](Time rx_done) mutable {
+            deliver_at(rx_done, std::move(rts));
+          });
+  }
+  co_await state->cts.wait();
+
+  co_await engine_.delay(nic.o_send);
+  const Time t0 = engine_.now();
+  const Time inj_done = t0 + transfer_time(bytes, nic.proc_bw);
+  const Time occupancy =
+      std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
+  const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
+  route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes,
+        [this, state, payload = own_copy(data)](Time rx_done) mutable {
+          engine_.schedule_fn(rx_done, [state, payload = std::move(payload)]() {
+            PostedRecv& pr = *state->pr;
+            if (!pr.truncated && !payload.empty() && !pr.out.empty()) {
+              std::memcpy(pr.out.data(), payload.data(), payload.size());
+            }
+            pr.done->post();
+          });
+        });
+  // Sender completes once its injection pipe drains.
+  co_await engine_.until(inj_done);
+}
+
+sim::CoTask<RecvResult> Machine::do_recv(Rank& receiver, int src_world,
+                                         int ctx, int tag,
+                                         std::size_t capacity, MutBytes out) {
+  DPML_CHECK_MSG(out.empty() || out.size() >= capacity,
+                 "recv buffer smaller than stated capacity");
+  PostedRecv pr;
+  pr.ctx = ctx;
+  pr.src = src_world;
+  pr.tag = tag;
+  pr.capacity = capacity;
+  pr.out = out;
+  sim::Flag done(engine_);
+  pr.done = &done;
+  receiver.matcher().post_recv(&pr);
+  co_await done.wait();
+  co_await engine_.delay(pr.recv_cost);
+  if (pr.truncated) {
+    throw util::MessageError(
+        "message truncated: rank " + std::to_string(receiver.world_rank()) +
+        " posted " + std::to_string(capacity) + " bytes for (ctx=" +
+        std::to_string(ctx) + ", src=" + std::to_string(pr.recv_src) +
+        ", tag=" + std::to_string(pr.recv_tag) + ") but " +
+        std::to_string(pr.recv_bytes) + " arrived");
+  }
+  co_return RecvResult{pr.recv_bytes, pr.recv_src, pr.recv_tag};
+}
+
+sim::CoTask<void> Machine::do_shm_copy(Rank& r, ShmWindow& w,
+                                       std::size_t offset, std::size_t bytes,
+                                       ConstBytes src, MutBytes dst,
+                                       bool is_put) {
+  DPML_CHECK_MSG(offset + bytes <= w.size(), "window copy out of range");
+  DPML_CHECK(src.empty() || src.size() == bytes);
+  DPML_CHECK(dst.empty() || dst.size() == bytes);
+  const net::HostModel& host = cfg_.host;
+  const bool xsock = r.socket() != w.owner_socket();
+  const double bw = xsock ? host.copy_bw_xsocket : host.copy_bw;
+  const Time t0 = engine_.now();
+  const Time proc_done = t0 + host.copy_startup +
+                         (xsock ? host.xsocket_latency : 0) +
+                         transfer_time(bytes, bw);
+  const Time mem_done =
+      r.node().mem().acquire(t0, transfer_time(bytes, host.mem_agg_bw));
+  stats_.window_copies += 1;
+  stats_.shm_bytes += bytes;
+  trace(is_put ? "shm-put" : "shm-get", "shm", r.world_rank(), t0,
+        std::max(proc_done, mem_done));
+  co_await engine_.until(std::max(proc_done, mem_done));
+  if (w.has_data() && bytes > 0) {
+    if (!src.empty()) {
+      std::memcpy(w.data().data() + offset, src.data(), bytes);
+    } else if (!dst.empty()) {
+      std::memcpy(dst.data(), w.data().data() + offset, bytes);
+    }
+  }
+}
+
+}  // namespace dpml::simmpi

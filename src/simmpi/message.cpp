@@ -1,0 +1,67 @@
+#include "simmpi/message.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dpml::simmpi {
+
+void Matcher::complete(PostedRecv& pr, Envelope& env) {
+  pr.recv_bytes = env.bytes;
+  pr.recv_src = env.src;
+  pr.recv_tag = env.tag;
+  pr.recv_cost = env.recv_cost;
+  pr.truncated = env.bytes > pr.capacity;
+  if (env.rendezvous) {
+    // Hand control to the sender-side continuation: it sends CTS, moves the
+    // payload, and posts pr.done at delivery time.
+    DPML_CHECK(env.on_match != nullptr);
+    env.on_match(pr);
+    return;
+  }
+  if (!pr.truncated && !env.data.empty() && !pr.out.empty()) {
+    std::memcpy(pr.out.data(), env.data.data(), env.data.size());
+  }
+  DPML_CHECK(pr.done != nullptr);
+  pr.done->post();
+}
+
+void Matcher::post_recv(PostedRecv* pr) {
+  DPML_CHECK(pr != nullptr && pr->done != nullptr);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(*pr, *it)) {
+      Envelope env = std::move(*it);
+      unexpected_.erase(it);
+      complete(*pr, env);
+      return;
+    }
+  }
+  posted_.push_back(pr);
+}
+
+void Matcher::deliver(Envelope env) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(**it, env)) {
+      PostedRecv* pr = *it;
+      posted_.erase(it);
+      complete(*pr, env);
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(env));
+  for (sim::Flag* f : watchers_) f->post();
+  watchers_.clear();
+}
+
+const Envelope* Matcher::peek(int ctx, int src, int tag) const {
+  PostedRecv probe;
+  probe.ctx = ctx;
+  probe.src = src;
+  probe.tag = tag;
+  for (const Envelope& env : unexpected_) {
+    if (matches(probe, env)) return &env;
+  }
+  return nullptr;
+}
+
+}  // namespace dpml::simmpi

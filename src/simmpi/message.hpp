@@ -1,0 +1,84 @@
+// Message envelopes and tag matching.
+//
+// Each rank owns a Matcher with the usual MPI queues: unexpected messages
+// and posted receives. Matching is by (context, source, tag) with wildcard
+// support, in envelope arrival order — eager envelopes are delivered when
+// the payload has fully arrived, rendezvous envelopes when the RTS control
+// message arrives.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "simmpi/datatype.hpp"
+
+namespace dpml::simmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct PostedRecv;
+
+struct Envelope {
+  int ctx = 0;
+  int src = 0;  // world rank of the sender
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::vector<std::byte> data;  // payload (empty in metadata-only runs)
+  sim::Time recv_cost = 0;      // receiver-side overhead charged after match
+  bool rendezvous = false;
+  // Rendezvous only: invoked at match time; sends CTS and schedules the
+  // payload transfer, which eventually posts the receive's done flag.
+  std::function<void(PostedRecv&)> on_match;
+};
+
+struct PostedRecv {
+  int ctx = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::size_t capacity = 0;
+  MutBytes out{};
+  sim::Flag* done = nullptr;
+  // Filled at completion:
+  std::size_t recv_bytes = 0;
+  int recv_src = -1;
+  int recv_tag = -1;
+  sim::Time recv_cost = 0;
+  bool truncated = false;
+};
+
+class Matcher {
+ public:
+  // Post a receive; matches against the unexpected queue first.
+  void post_recv(PostedRecv* pr);
+
+  // Deliver an arriving envelope; matches against posted receives first.
+  void deliver(Envelope env);
+
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t posted_count() const { return posted_.size(); }
+
+  // Probe support: first matching unexpected envelope, not consumed.
+  const Envelope* peek(int ctx, int src, int tag) const;
+  // One-shot notification on the next unexpected arrival (blocking probe).
+  void watch_arrivals(sim::Flag* f) { watchers_.push_back(f); }
+
+ private:
+  static bool matches(const PostedRecv& pr, const Envelope& env) {
+    return pr.ctx == env.ctx &&
+           (pr.src == kAnySource || pr.src == env.src) &&
+           (pr.tag == kAnyTag || pr.tag == env.tag);
+  }
+
+  // Complete `pr` with `env` (copy payload for eager, trigger rendezvous).
+  static void complete(PostedRecv& pr, Envelope& env);
+
+  std::deque<Envelope> unexpected_;
+  std::deque<PostedRecv*> posted_;
+  std::vector<sim::Flag*> watchers_;
+};
+
+}  // namespace dpml::simmpi

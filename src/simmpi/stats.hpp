@@ -1,0 +1,38 @@
+// Per-run communication statistics.
+//
+// The Machine counts traffic as the transport charges it; benches and tests
+// use the counters to reason about algorithm structure (e.g. recursive
+// doubling sends ceil(lg p) messages per rank) and hardware pressure (NIC
+// busy fraction under flat vs hierarchical designs — the §3 story in
+// numbers).
+#pragma once
+
+#include <cstdint>
+
+namespace dpml::simmpi {
+
+struct CommStats {
+  // Inter-node traffic.
+  std::uint64_t net_messages = 0;     // payload messages handed to a NIC
+  std::uint64_t net_bytes = 0;        // payload bytes over the fabric
+  std::uint64_t rndv_handshakes = 0;  // rendezvous RTS/CTS exchanges
+  // Intra-node traffic.
+  std::uint64_t shm_messages = 0;  // intra-node p2p messages
+  std::uint64_t shm_bytes = 0;     // p2p + window-copy bytes through shm
+  std::uint64_t window_copies = 0;
+  // Compute.
+  std::uint64_t reduce_bytes = 0;  // operand bytes combined by host CPUs
+
+  CommStats& operator+=(const CommStats& o) {
+    net_messages += o.net_messages;
+    net_bytes += o.net_bytes;
+    rndv_handshakes += o.rndv_handshakes;
+    shm_messages += o.shm_messages;
+    shm_bytes += o.shm_bytes;
+    window_copies += o.window_copies;
+    reduce_bytes += o.reduce_bytes;
+    return *this;
+  }
+};
+
+}  // namespace dpml::simmpi

@@ -1,0 +1,31 @@
+#include "simmpi/trace.hpp"
+
+namespace dpml::simmpi {
+
+namespace {
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    write_escaped(os, s.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, s.category);
+    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << s.rank
+       << ",\"ts\":" << sim::to_us(s.start)
+       << ",\"dur\":" << sim::to_us(s.end - s.start) << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace dpml::simmpi

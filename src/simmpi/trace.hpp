@@ -1,0 +1,49 @@
+// Execution tracing.
+//
+// When enabled on a Machine, the transport records a span for every charged
+// activity (network messages, shared-memory copies, reductions, user-marked
+// phases), attributed to the acting rank. Spans export to the Chrome trace
+// event format (chrome://tracing, Perfetto) for visual inspection of
+// algorithm phase structure — e.g. watching DPML's four phases overlap
+// across leaders.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dpml::simmpi {
+
+class Tracer {
+ public:
+  struct Span {
+    std::string name;
+    std::string category;
+    int rank = 0;  // world rank (lane in the viewer)
+    sim::Time start = 0;
+    sim::Time end = 0;
+  };
+
+  void add(std::string name, std::string category, int rank, sim::Time start,
+           sim::Time end) {
+    if (end < start) end = start;
+    spans_.push_back(Span{std::move(name), std::move(category), rank, start,
+                          end});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  void clear() { spans_.clear(); }
+
+  // Chrome trace event format: one complete ('X') event per span, with the
+  // world rank as the thread id. Timestamps in microseconds.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace dpml::simmpi

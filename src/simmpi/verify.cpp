@@ -1,0 +1,67 @@
+#include "simmpi/verify.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpml::simmpi {
+
+namespace {
+
+template <typename T>
+void write_value(std::byte* dst, std::size_t i, T v) {
+  std::memcpy(dst + i * sizeof(T), &v, sizeof(T));
+}
+
+}  // namespace
+
+std::vector<std::byte> make_operand(Dtype dt, std::size_t count, int rank,
+                                    ReduceOp op, std::uint64_t seed) {
+  std::vector<std::byte> buf(count * dtype_size(dt));
+  util::SplitMix64 rng(seed, static_cast<std::uint64_t>(rank));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    std::int64_t v = 0;
+    switch (op) {
+      case ReduceOp::sum:
+      case ReduceOp::min:
+      case ReduceOp::max:
+        v = static_cast<std::int64_t>(h % 17) - 8;
+        break;
+      case ReduceOp::prod:
+        // Powers of two stay exact in floating point; keep products small.
+        v = 1 + static_cast<std::int64_t>(h % 2);
+        break;
+      case ReduceOp::band:
+      case ReduceOp::bor:
+        v = static_cast<std::int64_t>(h % 256);
+        break;
+    }
+    switch (dt) {
+      case Dtype::f32: write_value<float>(buf.data(), i, static_cast<float>(v)); break;
+      case Dtype::f64: write_value<double>(buf.data(), i, static_cast<double>(v)); break;
+      case Dtype::i32: write_value<std::int32_t>(buf.data(), i, static_cast<std::int32_t>(v)); break;
+      case Dtype::i64: write_value<std::int64_t>(buf.data(), i, v); break;
+      case Dtype::u8:
+        write_value<std::uint8_t>(buf.data(), i,
+                                  static_cast<std::uint8_t>(v & 0x7f));
+        break;
+    }
+  }
+  return buf;
+}
+
+std::vector<std::byte> reference_allreduce(Dtype dt, std::size_t count,
+                                           int nranks, ReduceOp op,
+                                           std::uint64_t seed) {
+  DPML_CHECK(nranks >= 1);
+  std::vector<std::byte> acc = make_operand(dt, count, 0, op, seed);
+  for (int r = 1; r < nranks; ++r) {
+    const std::vector<std::byte> in = make_operand(dt, count, r, op, seed);
+    reduce_inplace(op, dt, count, MutBytes{acc}, ConstBytes{in});
+  }
+  return acc;
+}
+
+}  // namespace dpml::simmpi

@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports "--key value", "--key=value", and bare positional arguments.
+// Typed getters with defaults; unknown-flag detection for helpful errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dpml::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def = "") const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  // Parse a byte size with optional K/M/G suffix ("64K" -> 65536).
+  static std::size_t parse_bytes(const std::string& text);
+  std::size_t get_bytes(const std::string& key, std::size_t def) const;
+
+  // Parse a size range "4:1M[:4]" (lo:hi[:factor]) into a geometric sweep.
+  static std::vector<std::size_t> parse_size_range(const std::string& text);
+
+  // Keys that were provided but never queried (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::unordered_map<std::string, std::string> flags_;
+  mutable std::unordered_map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpml::util

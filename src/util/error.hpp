@@ -1,0 +1,56 @@
+// Error handling primitives shared by all dpml modules.
+//
+// Simulation code distinguishes two failure classes:
+//  * programming errors (bad arguments, broken invariants) -> DPML_CHECK,
+//    throws dpml::util::InvariantError; tests assert on these.
+//  * simulated-runtime errors (truncation, deadlock, resource exhaustion)
+//    -> dedicated exception types so failure-injection tests can match them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpml::util {
+
+// Thrown when a DPML_CHECK invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Thrown by the simulated MPI runtime for message-level errors
+// (e.g. receiving into a too-small buffer).
+class MessageError : public std::runtime_error {
+ public:
+  explicit MessageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when the event queue drains while simulated processes are still
+// blocked: the simulated program has deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": check failed: " + expr +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace dpml::util
+
+#define DPML_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::dpml::util::raise_invariant(#expr, __FILE__, __LINE__, "");   \
+    }                                                                 \
+  } while (0)
+
+#define DPML_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::dpml::util::raise_invariant(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,32 @@
+// Minimal leveled logging. Off by default so benchmarks stay quiet;
+// tests and examples flip the level when diagnosing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpml::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace dpml::util
+
+#define DPML_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::dpml::util::log_level())) {              \
+      std::ostringstream dpml_log_ss;                               \
+      dpml_log_ss << expr;                                          \
+      ::dpml::util::log_message(level, dpml_log_ss.str());          \
+    }                                                               \
+  } while (0)
+
+#define DPML_DEBUG(expr) DPML_LOG(::dpml::util::LogLevel::kDebug, expr)
+#define DPML_INFO(expr) DPML_LOG(::dpml::util::LogLevel::kInfo, expr)
+#define DPML_WARN(expr) DPML_LOG(::dpml::util::LogLevel::kWarn, expr)
+#define DPML_ERROR(expr) DPML_LOG(::dpml::util::LogLevel::kError, expr)

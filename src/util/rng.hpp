@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the repository flows through SplitMix64 so that
+// a (seed, stream) pair fully determines a run. The simulator itself is
+// deterministic; randomness is only used to fill data buffers and to drive
+// synthetic workloads (miniAMR refinement decisions).
+#pragma once
+
+#include <cstdint>
+
+namespace dpml::util {
+
+// SplitMix64: tiny, fast, statistically solid for our purposes, and trivially
+// seedable per (rank, stream) without correlation concerns.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  // Derive an independent stream: mixes `stream` into the seed.
+  SplitMix64(std::uint64_t seed, std::uint64_t stream)
+      : SplitMix64(seed ^ (0xbf58476d1ce4e5b9ull * (stream + 1))) {}
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dpml::util

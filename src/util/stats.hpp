@@ -1,0 +1,34 @@
+// Small statistics helpers used by the benchmark harness and the tuner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dpml::util {
+
+// Online accumulator (Welford) for mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a copy of the samples (linear interpolation, q in [0,100]).
+double percentile(std::vector<double> samples, double q);
+
+// Geometric mean; returns 0 if any sample <= 0 or the set is empty.
+double geomean(const std::vector<double>& samples);
+
+}  // namespace dpml::util

@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpml::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  DPML_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return cell(ss.str());
+}
+
+Table& Table::cell(std::size_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& v = i < r.size() ? r[i] : std::string{};
+      if (looks_numeric(v)) {
+        os << std::setw(static_cast<int>(widths[i])) << std::right << v;
+      } else {
+        os << std::setw(static_cast<int>(widths[i])) << std::left << v;
+      }
+      os << (i + 1 == widths.size() ? "" : "  ");
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 != widths.size()) rule += "  ";
+  }
+  os << rule << "\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i] << (i + 1 == r.size() ? "" : ",");
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_bytes(std::size_t bytes) {
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    return std::to_string(bytes >> 20) + "M";
+  }
+  if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    return std::to_string(bytes >> 10) + "K";
+  }
+  return std::to_string(bytes);
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2);
+  if (s < 1e-6) {
+    ss << s * 1e9 << "ns";
+  } else if (s < 1e-3) {
+    ss << s * 1e6 << "us";
+  } else if (s < 1.0) {
+    ss << s * 1e3 << "ms";
+  } else {
+    ss << s << "s";
+  }
+  return ss.str();
+}
+
+}  // namespace dpml::util

@@ -1,0 +1,44 @@
+// Aligned console tables and CSV emission for the benchmark harness.
+//
+// Every figure-reproduction bench prints two artifacts:
+//   1. a human-readable aligned table (what the paper's figure plots), and
+//   2. a CSV block (machine-readable, for replotting).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpml::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(double v, int precision = 2);
+  Table& cell(std::size_t v);
+  Table& cell(long long v);
+
+  // Render with column alignment (numbers right-aligned heuristically).
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format byte counts the way the paper's x-axes do: 4, 1K, 64K, 1M.
+std::string format_bytes(std::size_t bytes);
+
+// Format a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string format_seconds(double s);
+
+}  // namespace dpml::util

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace dpml::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv_list) {
+  static std::vector<std::string> storage;
+  storage.assign(argv_list.begin(), argv_list.end());
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, ParsesFlagsAndPositionals) {
+  // Note: a bare word after "--verbose" would be consumed as its value, so
+  // positionals come first (the documented convention).
+  auto a = make({"prog", "run", "extra", "--nodes", "16", "--ppn=28",
+                 "--verbose"});
+  EXPECT_EQ(a.program(), "prog");
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "run");
+  EXPECT_EQ(a.positional()[1], "extra");
+  EXPECT_EQ(a.get_int("nodes", 0), 16);
+  EXPECT_EQ(a.get_int("ppn", 0), 28);
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+}
+
+TEST(Args, BooleanBeforeAnotherFlag) {
+  auto a = make({"prog", "--flag", "--other", "3"});
+  EXPECT_TRUE(a.get_bool("flag"));
+  EXPECT_EQ(a.get_int("other", 0), 3);
+}
+
+TEST(Args, TypedGetters) {
+  auto a = make({"prog", "--x", "2.5", "--b", "yes", "--n", "-7"});
+  EXPECT_DOUBLE_EQ(a.get_double("x", 0), 2.5);
+  EXPECT_TRUE(a.get_bool("b"));
+  EXPECT_EQ(a.get_int("n", 0), -7);
+  EXPECT_DOUBLE_EQ(a.get_double("absent", 1.25), 1.25);
+}
+
+TEST(Args, ParseBytes) {
+  EXPECT_EQ(Args::parse_bytes("17"), 17u);
+  EXPECT_EQ(Args::parse_bytes("4K"), 4096u);
+  EXPECT_EQ(Args::parse_bytes("4k"), 4096u);
+  EXPECT_EQ(Args::parse_bytes("2M"), 2u << 20);
+  EXPECT_EQ(Args::parse_bytes("1G"), 1u << 30);
+  EXPECT_THROW(Args::parse_bytes(""), InvariantError);
+  EXPECT_THROW(Args::parse_bytes("K"), InvariantError);
+}
+
+TEST(Args, ParseSizeRange) {
+  const auto r = Args::parse_size_range("4:1K");
+  ASSERT_EQ(r.size(), 5u);  // 4, 16, 64, 256, 1024
+  EXPECT_EQ(r.front(), 4u);
+  EXPECT_EQ(r.back(), 1024u);
+  const auto r2 = Args::parse_size_range("8:64:2");
+  ASSERT_EQ(r2.size(), 4u);  // 8, 16, 32, 64
+  EXPECT_THROW(Args::parse_size_range("bad"), std::exception);
+  EXPECT_THROW(Args::parse_size_range("16:4"), InvariantError);
+}
+
+TEST(Args, UnusedDetection) {
+  auto a = make({"prog", "--used", "1", "--typo", "2"});
+  (void)a.get_int("used", 0);
+  const auto u = a.unused();
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0], "typo");
+}
+
+}  // namespace
+}  // namespace dpml::util

@@ -1,0 +1,250 @@
+// Correctness of every allreduce design: parameterized sweeps verified
+// bit-for-bit against the serial reference reduction (verify.hpp generates
+// operands whose reductions are exact in any combination order).
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <string>
+#include <tuple>
+
+#include "core/measure.hpp"
+#include "net/cluster.hpp"
+
+namespace dpml::core {
+namespace {
+
+using simmpi::Dtype;
+using simmpi::ReduceOp;
+
+const Algorithm kAllAlgos[] = {
+    Algorithm::recursive_doubling,
+    Algorithm::reduce_scatter_allgather,
+    Algorithm::ring,
+    Algorithm::binomial,
+    Algorithm::gather_bcast,
+    Algorithm::single_leader,
+    Algorithm::dpml,
+    Algorithm::sharp_node_leader,
+    Algorithm::sharp_socket_leader,
+    Algorithm::mvapich2,
+    Algorithm::intelmpi,
+    Algorithm::dpml_auto,
+};
+
+struct Shape {
+  int nodes;
+  int ppn;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.nodes << "x" << s.ppn;
+}
+
+MeasureResult run_case(Algorithm algo, Shape shape, std::size_t count,
+                       Dtype dt = Dtype::f32, ReduceOp op = ReduceOp::sum,
+                       int leaders = 2, int pipeline_k = 1) {
+  auto cfg = net::test_cluster(shape.nodes);
+  AllreduceSpec spec;
+  spec.algo = algo;
+  spec.leaders = leaders;
+  spec.pipeline_k = pipeline_k;
+  MeasureOptions opt;
+  opt.with_data = true;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  opt.dt = dt;
+  opt.op = op;
+  return measure_allreduce(cfg, shape.nodes, shape.ppn,
+                           count * simmpi::dtype_size(dt), spec, opt);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: every algorithm on every shape (fixed medium message).
+
+class AlgoShape
+    : public ::testing::TestWithParam<std::tuple<Algorithm, Shape>> {};
+
+TEST_P(AlgoShape, ProducesExactResult) {
+  const auto [algo, shape] = GetParam();
+  const auto res = run_case(algo, shape, 257);  // odd count: ragged partitions
+  EXPECT_TRUE(res.verified) << algorithm_name(algo) << " on " << shape.nodes
+                            << "x" << shape.ppn;
+  EXPECT_GT(res.avg_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgoShape,
+    ::testing::Combine(::testing::ValuesIn(kAllAlgos),
+                       ::testing::Values(Shape{1, 4}, Shape{2, 1}, Shape{2, 4},
+                                         Shape{3, 4}, Shape{5, 3},
+                                         Shape{8, 2}, Shape{7, 1})),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, Shape>>& info) {
+      std::string name = algorithm_name(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      const Shape shape = std::get<1>(info.param);
+      return name + "_" + std::to_string(shape.nodes) + "x" +
+             std::to_string(shape.ppn);
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: message sizes from empty to multi-chunk on a fixed shape.
+
+class AlgoCount
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::size_t>> {};
+
+TEST_P(AlgoCount, ProducesExactResult) {
+  const auto [algo, count] = GetParam();
+  const auto res = run_case(algo, Shape{4, 4}, count);
+  EXPECT_TRUE(res.verified)
+      << algorithm_name(algo) << " count=" << count;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MessageSizes, AlgoCount,
+    ::testing::Combine(::testing::ValuesIn(kAllAlgos),
+                       ::testing::Values<std::size_t>(0, 1, 2, 7, 16, 63, 256,
+                                                      1000, 4096)),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, std::size_t>>&
+           info) {
+      std::string name = algorithm_name(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: datatypes and operators (reduction arithmetic paths).
+
+class DtypeOp
+    : public ::testing::TestWithParam<std::tuple<Dtype, ReduceOp>> {};
+
+TEST_P(DtypeOp, AllDesignsAgree) {
+  const auto [dt, op] = GetParam();
+  for (Algorithm algo :
+       {Algorithm::recursive_doubling, Algorithm::reduce_scatter_allgather,
+        Algorithm::ring, Algorithm::dpml, Algorithm::sharp_socket_leader}) {
+    const auto res = run_case(algo, Shape{4, 4}, 129, dt, op);
+    EXPECT_TRUE(res.verified)
+        << algorithm_name(algo) << " " << simmpi::dtype_name(dt) << " "
+        << simmpi::op_name(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, DtypeOp,
+    ::testing::Values(
+        std::make_tuple(Dtype::f32, ReduceOp::sum),
+        std::make_tuple(Dtype::f64, ReduceOp::sum),
+        std::make_tuple(Dtype::i32, ReduceOp::sum),
+        std::make_tuple(Dtype::i64, ReduceOp::sum),
+        std::make_tuple(Dtype::u8, ReduceOp::sum),
+        std::make_tuple(Dtype::f32, ReduceOp::max),
+        std::make_tuple(Dtype::f64, ReduceOp::min),
+        std::make_tuple(Dtype::i32, ReduceOp::min),
+        std::make_tuple(Dtype::f32, ReduceOp::prod),
+        std::make_tuple(Dtype::i64, ReduceOp::band),
+        std::make_tuple(Dtype::i32, ReduceOp::bor)),
+    [](const ::testing::TestParamInfo<std::tuple<Dtype, ReduceOp>>& info) {
+      return std::string(simmpi::dtype_name(std::get<0>(info.param))) + "_" +
+             simmpi::op_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: DPML leader counts and pipeline depths.
+
+class DpmlConfig
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DpmlConfig, ProducesExactResult) {
+  const auto [leaders, k] = GetParam();
+  const auto res = run_case(Algorithm::dpml, Shape{4, 4}, 1023, Dtype::f32,
+                            ReduceOp::sum, leaders, k);
+  EXPECT_TRUE(res.verified) << "l=" << leaders << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeadersByPipeline, DpmlConfig,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 16),
+                       ::testing::Values(1, 2, 3, 5, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "l" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism and timing sanity.
+
+TEST(Measure, DeterministicAcrossRepeats) {
+  const auto a = run_case(Algorithm::dpml, Shape{4, 4}, 500);
+  const auto b = run_case(Algorithm::dpml, Shape{4, 4}, 500);
+  EXPECT_EQ(a.avg_us, b.avg_us);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Measure, MetadataAndDataModesAgreeOnTime) {
+  AllreduceSpec spec;
+  spec.algo = Algorithm::dpml;
+  spec.leaders = 2;
+  auto cfg = net::test_cluster(4);
+  MeasureOptions with;
+  with.with_data = true;
+  MeasureOptions without;
+  without.with_data = false;
+  const auto a = measure_allreduce(cfg, 4, 4, 4096, spec, with);
+  const auto b = measure_allreduce(cfg, 4, 4, 4096, spec, without);
+  EXPECT_EQ(a.avg_us, b.avg_us);
+}
+
+TEST(Measure, LatencyMonotoneInMessageSize) {
+  auto cfg = net::test_cluster(4);
+  for (Algorithm algo : {Algorithm::recursive_doubling, Algorithm::dpml,
+                         Algorithm::mvapich2}) {
+    AllreduceSpec spec;
+    spec.algo = algo;
+    double prev = 0.0;
+    for (std::size_t bytes : {64u, 1024u, 16384u, 262144u}) {
+      const auto r = measure_allreduce(cfg, 4, 4, bytes, spec);
+      EXPECT_GE(r.avg_us, prev) << algorithm_name(algo) << " at " << bytes;
+      prev = r.avg_us;
+    }
+  }
+}
+
+TEST(Measure, WarmupIterationsExcluded) {
+  auto cfg = net::test_cluster(2);
+  AllreduceSpec spec;
+  spec.algo = Algorithm::recursive_doubling;
+  MeasureOptions o1;
+  o1.iterations = 3;
+  o1.warmup = 0;
+  MeasureOptions o2;
+  o2.iterations = 3;
+  o2.warmup = 4;
+  const auto a = measure_allreduce(cfg, 2, 2, 1024, spec, o1);
+  const auto b = measure_allreduce(cfg, 2, 2, 1024, spec, o2);
+  // Steady-state average should be stable regardless of warmup count.
+  EXPECT_NEAR(a.avg_us, b.avg_us, a.avg_us * 0.25);
+}
+
+TEST(Measure, RejectsMisalignedSize) {
+  auto cfg = net::test_cluster(2);
+  AllreduceSpec spec;
+  spec.algo = Algorithm::recursive_doubling;
+  MeasureOptions opt;
+  opt.dt = simmpi::Dtype::f64;
+  EXPECT_THROW(measure_allreduce(cfg, 2, 2, 12, spec, opt),
+               util::InvariantError);
+}
+
+TEST(Measure, SharpOnFabriclessClusterThrows) {
+  auto cfg = net::cluster_b();  // no SHArP
+  AllreduceSpec spec;
+  spec.algo = Algorithm::sharp_node_leader;
+  EXPECT_THROW(measure_allreduce(cfg, 2, 2, 64, spec), util::InvariantError);
+}
+
+}  // namespace
+}  // namespace dpml::core

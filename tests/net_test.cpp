@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "net/cluster.hpp"
+#include "net/topology.hpp"
+#include "util/error.hpp"
+
+namespace dpml::net {
+namespace {
+
+TEST(Cluster, PresetsMatchPaperShapes) {
+  const auto a = cluster_a();
+  EXPECT_EQ(a.total_nodes, 40);
+  EXPECT_EQ(a.node.cores(), 28);
+  EXPECT_TRUE(a.has_sharp());
+
+  const auto b = cluster_b();
+  EXPECT_EQ(b.total_nodes, 648);
+  EXPECT_EQ(b.node.cores(), 28);
+  EXPECT_FALSE(b.has_sharp());
+
+  const auto c = cluster_c();
+  EXPECT_EQ(c.total_nodes, 752);
+  EXPECT_FALSE(c.has_sharp());
+
+  const auto d = cluster_d();
+  EXPECT_EQ(d.total_nodes, 508);
+  EXPECT_EQ(d.node.sockets, 1);
+  EXPECT_EQ(d.node.cores(), 68);
+}
+
+TEST(Cluster, IbVsOpaConcurrencyCharacter) {
+  // The defining difference (paper §3): on IB one process cannot saturate
+  // the link; on Omni-Path a single process gets close to link bandwidth.
+  const auto ib = cluster_b().nic;
+  const auto opa = cluster_c().nic;
+  EXPECT_LT(ib.proc_bw, ib.link_bw / 3.0);
+  EXPECT_GT(opa.proc_bw, opa.link_bw / 2.0);
+}
+
+TEST(Cluster, KnlIsSlowerPerCore) {
+  const auto xeon = cluster_c();
+  const auto knl = cluster_d();
+  EXPECT_GT(knl.host.reduce_ns_per_byte, xeon.host.reduce_ns_per_byte);
+  EXPECT_LT(knl.host.copy_bw, xeon.host.copy_bw);
+  EXPECT_GT(knl.nic.o_send, xeon.nic.o_send);
+}
+
+TEST(Cluster, LookupByName) {
+  EXPECT_EQ(cluster_by_name("A").name, "A");
+  EXPECT_EQ(cluster_by_name("a").name, "A");
+  EXPECT_EQ(cluster_by_name("cluster_d").name, "D");
+  EXPECT_EQ(cluster_by_name("test").name, "test");
+  EXPECT_THROW(cluster_by_name("zeta"), util::InvariantError);
+  EXPECT_EQ(all_clusters().size(), 4u);
+}
+
+TEST(Topology, LeafAssignment) {
+  FabricTopology t(10, 4);
+  EXPECT_EQ(t.num_leaves(), 3);
+  EXPECT_EQ(t.leaf_of(0), 0);
+  EXPECT_EQ(t.leaf_of(3), 0);
+  EXPECT_EQ(t.leaf_of(4), 1);
+  EXPECT_EQ(t.leaf_of(9), 2);
+}
+
+TEST(Topology, LinkCounts) {
+  FabricTopology t(10, 4);
+  EXPECT_EQ(t.links_between(2, 2), 0);
+  EXPECT_EQ(t.links_between(0, 3), 2);  // same leaf
+  EXPECT_EQ(t.links_between(0, 4), 4);  // cross leaf
+}
+
+TEST(Topology, PathLatencyScalesWithHops) {
+  FabricTopology t(8, 2);
+  NicModel nic;
+  nic.wire_latency = sim::ns(100);
+  nic.switch_latency = sim::ns(50);
+  EXPECT_EQ(t.path_latency(0, 0, nic), 0);
+  EXPECT_EQ(t.path_latency(0, 1, nic), sim::ns(250));   // 2 wires + 1 switch
+  EXPECT_EQ(t.path_latency(0, 7, nic), sim::ns(550));   // 4 wires + 3 switches
+}
+
+TEST(Topology, AggregationLevels) {
+  FabricTopology t(8, 4);
+  EXPECT_EQ(t.aggregation_levels(0, 3), 1);
+  EXPECT_EQ(t.aggregation_levels(0, 7), 2);
+}
+
+TEST(Topology, BoundsChecked) {
+  FabricTopology t(4, 2);
+  EXPECT_THROW(t.leaf_of(4), util::InvariantError);
+  EXPECT_THROW(t.leaf_of(-1), util::InvariantError);
+}
+
+}  // namespace
+}  // namespace dpml::net

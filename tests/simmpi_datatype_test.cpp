@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "simmpi/verify.hpp"
+#include "util/error.hpp"
+
+namespace dpml::simmpi {
+namespace {
+
+template <typename T>
+std::vector<std::byte> pack(const std::vector<T>& v) {
+  std::vector<std::byte> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> unpack(const std::vector<std::byte>& b) {
+  std::vector<T> out(b.size() / sizeof(T));
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+TEST(Dtype, Sizes) {
+  EXPECT_EQ(dtype_size(Dtype::f32), 4u);
+  EXPECT_EQ(dtype_size(Dtype::f64), 8u);
+  EXPECT_EQ(dtype_size(Dtype::i32), 4u);
+  EXPECT_EQ(dtype_size(Dtype::i64), 8u);
+  EXPECT_EQ(dtype_size(Dtype::u8), 1u);
+  EXPECT_STREQ(dtype_name(Dtype::f64), "f64");
+}
+
+TEST(Reduce, SumF32) {
+  auto acc = pack<float>({1.f, 2.f, 3.f});
+  auto in = pack<float>({10.f, 20.f, 30.f});
+  reduce_inplace(ReduceOp::sum, Dtype::f32, 3, acc, in);
+  EXPECT_EQ(unpack<float>(acc), (std::vector<float>{11.f, 22.f, 33.f}));
+}
+
+TEST(Reduce, MinMaxI32) {
+  auto acc = pack<std::int32_t>({5, -2, 7});
+  auto in = pack<std::int32_t>({3, 0, 9});
+  auto acc2 = acc;
+  reduce_inplace(ReduceOp::min, Dtype::i32, 3, acc, in);
+  EXPECT_EQ(unpack<std::int32_t>(acc), (std::vector<std::int32_t>{3, -2, 7}));
+  reduce_inplace(ReduceOp::max, Dtype::i32, 3, acc2, in);
+  EXPECT_EQ(unpack<std::int32_t>(acc2), (std::vector<std::int32_t>{5, 0, 9}));
+}
+
+TEST(Reduce, ProdF64) {
+  auto acc = pack<double>({2.0, 3.0});
+  auto in = pack<double>({4.0, 0.5});
+  reduce_inplace(ReduceOp::prod, Dtype::f64, 2, acc, in);
+  EXPECT_EQ(unpack<double>(acc), (std::vector<double>{8.0, 1.5}));
+}
+
+TEST(Reduce, BitwiseI64) {
+  auto acc = pack<std::int64_t>({0b1100});
+  auto in = pack<std::int64_t>({0b1010});
+  auto acc2 = acc;
+  reduce_inplace(ReduceOp::band, Dtype::i64, 1, acc, in);
+  EXPECT_EQ(unpack<std::int64_t>(acc)[0], 0b1000);
+  reduce_inplace(ReduceOp::bor, Dtype::i64, 1, acc2, in);
+  EXPECT_EQ(unpack<std::int64_t>(acc2)[0], 0b1110);
+}
+
+TEST(Reduce, BitwiseOnFloatThrows) {
+  auto acc = pack<float>({1.f});
+  auto in = pack<float>({2.f});
+  EXPECT_THROW(reduce_inplace(ReduceOp::band, Dtype::f32, 1, acc, in),
+               util::InvariantError);
+}
+
+TEST(Reduce, EmptySpansAreNoop) {
+  reduce_inplace(ReduceOp::sum, Dtype::f32, 128, {}, {});  // must not crash
+}
+
+TEST(Reduce, SizeMismatchThrows) {
+  auto acc = pack<float>({1.f, 2.f});
+  auto in = pack<float>({1.f});
+  EXPECT_THROW(reduce_inplace(ReduceOp::sum, Dtype::f32, 2, acc, in),
+               util::InvariantError);
+}
+
+TEST(Reduce, ZeroCount) {
+  std::vector<std::byte> empty;
+  reduce_inplace(ReduceOp::sum, Dtype::f32, 0, empty, empty);
+}
+
+TEST(Op, BuiltinAndUser) {
+  Op sum = ReduceOp::sum;
+  EXPECT_FALSE(sum.is_user());
+  EXPECT_EQ(sum.name(), "sum");
+
+  // User op: acc = acc - in, elementwise on f32.
+  Op user{UserOpFn([](Dtype dt, std::size_t count, MutBytes acc, ConstBytes in) {
+    ASSERT_EQ(dt, Dtype::f32);
+    for (std::size_t i = 0; i < count; ++i) {
+      float a;
+      float b;
+      std::memcpy(&a, acc.data() + i * 4, 4);
+      std::memcpy(&b, in.data() + i * 4, 4);
+      a -= b;
+      std::memcpy(acc.data() + i * 4, &a, 4);
+    }
+  })};
+  EXPECT_TRUE(user.is_user());
+  auto acc = pack<float>({10.f});
+  auto in = pack<float>({4.f});
+  user.apply(Dtype::f32, 1, acc, in);
+  EXPECT_EQ(unpack<float>(acc)[0], 6.f);
+}
+
+TEST(Verify, OperandsAreDeterministic) {
+  auto a = make_operand(Dtype::f32, 64, 3, ReduceOp::sum, 7);
+  auto b = make_operand(Dtype::f32, 64, 3, ReduceOp::sum, 7);
+  EXPECT_EQ(a, b);
+  auto c = make_operand(Dtype::f32, 64, 4, ReduceOp::sum, 7);
+  EXPECT_NE(a, c);
+}
+
+TEST(Verify, ReferenceMatchesManualFold) {
+  const std::size_t n = 16;
+  auto ref = reference_allreduce(Dtype::i64, n, 5, ReduceOp::sum, 3);
+  std::vector<std::int64_t> acc(n, 0);
+  for (int r = 0; r < 5; ++r) {
+    auto op = unpack<std::int64_t>(make_operand(Dtype::i64, n, r, ReduceOp::sum, 3));
+    for (std::size_t i = 0; i < n; ++i) acc[i] += op[i];
+  }
+  EXPECT_EQ(unpack<std::int64_t>(ref), acc);
+}
+
+TEST(Verify, FloatSumsAreOrderIndependent) {
+  // Operand magnitudes are capped so that f32 sums over many ranks stay
+  // exactly representable: fold in reverse order and compare bitwise.
+  const std::size_t n = 32;
+  const int p = 64;
+  auto fwd = reference_allreduce(Dtype::f32, n, p, ReduceOp::sum, 5);
+  std::vector<std::byte> rev = make_operand(Dtype::f32, n, p - 1, ReduceOp::sum, 5);
+  for (int r = p - 2; r >= 0; --r) {
+    auto in = make_operand(Dtype::f32, n, r, ReduceOp::sum, 5);
+    reduce_inplace(ReduceOp::sum, Dtype::f32, n, rev, in);
+  }
+  EXPECT_EQ(fwd, rev);
+}
+
+}  // namespace
+}  // namespace dpml::simmpi

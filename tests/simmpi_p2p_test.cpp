@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "simmpi/machine.hpp"
+#include "util/error.hpp"
+
+namespace dpml::simmpi {
+namespace {
+
+using sim::CoTask;
+using sim::Time;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(const std::vector<std::byte>& v, std::size_t n) {
+  std::string s(n, '\0');
+  std::memcpy(s.data(), v.data(), n);
+  return s;
+}
+
+CoTask<void> noop(Rank&) { co_return; }
+
+// ---------------------------------------------------------------------------
+
+TEST(Machine, ShapeAndMapping) {
+  Machine m(net::test_cluster(4), 4, 4);
+  EXPECT_EQ(m.world_size(), 16);
+  EXPECT_EQ(m.num_nodes(), 4);
+  EXPECT_EQ(m.ppn(), 4);
+  EXPECT_EQ(m.rank(0).node_id(), 0);
+  EXPECT_EQ(m.rank(5).node_id(), 1);
+  EXPECT_EQ(m.rank(5).local_rank(), 1);
+  // test_cluster nodes have 2 sockets, 2 cores each -> locals 0,1 on socket 0.
+  EXPECT_EQ(m.rank(0).socket(), 0);
+  EXPECT_EQ(m.rank(1).socket(), 0);
+  EXPECT_EQ(m.rank(2).socket(), 1);
+  EXPECT_EQ(m.rank(3).socket(), 1);
+  EXPECT_EQ(m.world().size(), 16);
+}
+
+TEST(Machine, RejectsBadShapes) {
+  EXPECT_THROW(Machine(net::test_cluster(2), 3, 2), util::InvariantError);
+  EXPECT_THROW(Machine(net::test_cluster(2), 2, 100), util::InvariantError);
+  EXPECT_THROW(Machine(net::test_cluster(2), 0, 1), util::InvariantError);
+}
+
+TEST(Machine, LeaderPlacementSpreadsAcrossNode) {
+  Machine m(net::cluster_b(), 2, 28);
+  EXPECT_EQ(m.leader_local_rank(0, 1), 0);
+  EXPECT_EQ(m.leader_local_rank(0, 2), 0);
+  EXPECT_EQ(m.leader_local_rank(1, 2), 14);  // second socket
+  EXPECT_EQ(m.leader_local_rank(0, 4), 0);
+  EXPECT_EQ(m.leader_local_rank(1, 4), 7);
+  EXPECT_EQ(m.leader_local_rank(2, 4), 14);
+  EXPECT_EQ(m.leader_local_rank(3, 4), 21);
+  // Inverse mapping agrees.
+  for (int l : {1, 2, 4, 8, 14}) {
+    int found = 0;
+    for (int lr = 0; lr < 28; ++lr) {
+      const int j = m.leader_index_of_local(lr, l);
+      if (j >= 0) {
+        EXPECT_EQ(m.leader_local_rank(j, l), lr);
+        ++found;
+      }
+    }
+    EXPECT_EQ(found, l);
+  }
+}
+
+TEST(Machine, LeaderCommMembersAndCaching) {
+  Machine m(net::test_cluster(4), 4, 4);
+  const Comm& c0 = m.leader_comm(0, 2);
+  const Comm& c1 = m.leader_comm(1, 2);
+  EXPECT_EQ(c0.size(), 4);
+  EXPECT_EQ(c1.size(), 4);
+  EXPECT_NE(c0.context(), c1.context());
+  EXPECT_EQ(c0.world_rank(0), 0);
+  EXPECT_EQ(c1.world_rank(0), 2);   // leader 1 of 2 on a 4-ppn node
+  EXPECT_EQ(c1.world_rank(3), 14);
+  EXPECT_EQ(&m.leader_comm(0, 2), &c0);  // cached
+}
+
+TEST(Machine, MakeCommAndRankLookup) {
+  Machine m(net::test_cluster(2), 2, 2);
+  const Comm& c = m.make_comm({3, 1});
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.world_rank(0), 3);
+  EXPECT_EQ(c.rank_of_world(1), 1);
+  EXPECT_EQ(c.rank_of_world(2), -1);
+  EXPECT_FALSE(c.contains(0));
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+class P2P : public ::testing::Test {
+ protected:
+  // Two nodes, 2 ppn: ranks 0,1 on node 0; ranks 2,3 on node 1.
+  Machine m{net::test_cluster(2), 2, 2};
+};
+
+TEST_F(P2P, EagerInterNodeDeliversPayload) {
+  auto payload = bytes_of("hello");
+  std::string got;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 2, 7, 5, payload);
+    } else if (r.world_rank() == 2) {
+      std::vector<std::byte> buf(16);
+      auto res = co_await r.recv(m.world(), 0, 7, buf.size(), buf);
+      EXPECT_EQ(res.bytes, 5u);
+      EXPECT_EQ(res.src, 0);
+      EXPECT_EQ(res.tag, 7);
+      got = string_of(buf, 5);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, "hello");
+  EXPECT_GT(m.now(), 0);
+}
+
+TEST_F(P2P, RendezvousDeliversPayload) {
+  // test_cluster rendezvous threshold is 4KB; send 8KB.
+  const std::size_t n = 8192;
+  std::vector<std::byte> payload(n, std::byte{0xAB});
+  bool ok = false;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 1) {
+      co_await r.send(m.world(), 3, 1, n, payload);
+    } else if (r.world_rank() == 3) {
+      std::vector<std::byte> buf(n);
+      auto res = co_await r.recv(m.world(), 1, 1, n, buf);
+      EXPECT_EQ(res.bytes, n);
+      ok = buf == payload;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(P2P, RendezvousLateReceiverStillCompletes) {
+  const std::size_t n = 8192;
+  std::vector<std::byte> payload(n, std::byte{0x5C});
+  bool ok = false;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 2, 9, n, payload);
+    } else if (r.world_rank() == 2) {
+      co_await r.compute(sim::ms(1.0));  // receiver arrives long after RTS
+      std::vector<std::byte> buf(n);
+      co_await r.recv(m.world(), 0, 9, n, buf);
+      ok = buf == payload;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_GT(m.now(), sim::ms(1.0));
+}
+
+TEST_F(P2P, IntraNodeUsesSharedMemoryPath) {
+  Time t_local = 0;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 1, 0, 64);
+    } else if (r.world_rank() == 1) {
+      co_await r.recv(m.world(), 0, 0, 64);
+      t_local = r.engine().now();
+    }
+    co_return;
+  });
+  Machine m2(net::test_cluster(2), 2, 2);
+  Time t_remote = 0;
+  m2.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m2.world(), 2, 0, 64);
+    } else if (r.world_rank() == 2) {
+      co_await r.recv(m2.world(), 0, 0, 64);
+      t_remote = r.engine().now();
+    }
+    co_return;
+  });
+  EXPECT_GT(t_local, 0);
+  EXPECT_GT(t_remote, t_local);  // network path costs more than shm
+}
+
+TEST_F(P2P, UnexpectedMessageIsBuffered) {
+  bool ok = false;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 2, 5, 8);
+    } else if (r.world_rank() == 2) {
+      co_await r.compute(sim::us(100.0));  // recv posted after arrival
+      auto res = co_await r.recv(m.world(), 0, 5, 8);
+      ok = res.bytes == 8;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(P2P, WildcardSourceAndTag) {
+  int src_seen = -1;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 1) {
+      co_await r.send(m.world(), 2, 42, 4);
+    } else if (r.world_rank() == 2) {
+      auto res = co_await r.recv(m.world(), kAnySource, kAnyTag, 4);
+      src_seen = res.src;
+      EXPECT_EQ(res.tag, 42);
+    }
+    co_return;
+  });
+  EXPECT_EQ(src_seen, 1);
+}
+
+TEST_F(P2P, TagSelectivity) {
+  std::vector<int> order;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 2, /*tag=*/1, 4);
+      co_await r.send(m.world(), 2, /*tag=*/2, 4);
+    } else if (r.world_rank() == 2) {
+      // Receive tag 2 first even though tag 1 arrived first.
+      co_await r.recv(m.world(), 0, 2, 4);
+      order.push_back(2);
+      co_await r.recv(m.world(), 0, 1, 4);
+      order.push_back(1);
+    }
+    co_return;
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(P2P, FifoOrderPerPair) {
+  std::vector<int> got;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        auto b = bytes_of(std::string(1, static_cast<char>('a' + i)));
+        co_await r.send(m.world(), 2, 3, 1, b);
+      }
+    } else if (r.world_rank() == 2) {
+      for (int i = 0; i < 5; ++i) {
+        std::vector<std::byte> buf(1);
+        co_await r.recv(m.world(), 0, 3, 1, buf);
+        got.push_back(static_cast<int>(buf[0]) - 'a');
+      }
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(P2P, TruncationThrows) {
+  EXPECT_THROW(
+      m.run([&](Rank& r) -> CoTask<void> {
+        if (r.world_rank() == 0) {
+          co_await r.send(m.world(), 2, 0, 64);
+        } else if (r.world_rank() == 2) {
+          co_await r.recv(m.world(), 0, 0, 16);  // too small
+        }
+        co_return;
+      }),
+      util::MessageError);
+}
+
+TEST_F(P2P, MissingSenderDeadlocks) {
+  EXPECT_THROW(m.run([&](Rank& r) -> CoTask<void> {
+                 if (r.world_rank() == 2) {
+                   co_await r.recv(m.world(), 0, 0, 4);
+                 }
+                 co_return;
+               }),
+               util::DeadlockError);
+}
+
+TEST_F(P2P, NonBlockingSendRecvOverlap) {
+  bool ok = false;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      std::vector<std::shared_ptr<sim::Flag>> flags;
+      flags.push_back(r.isend(m.world(), 2, 1, 32));
+      flags.push_back(r.isend(m.world(), 2, 2, 32));
+      co_await sim::wait_all(std::move(flags));
+    } else if (r.world_rank() == 2) {
+      auto h1 = r.irecv(m.world(), 0, 2, 32);
+      auto h2 = r.irecv(m.world(), 0, 1, 32);
+      co_await h1.done->wait();
+      co_await h2.done->wait();
+      ok = h1.result->tag == 2 && h2.result->tag == 1;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(P2P, ContextIsolation) {
+  // Same (src, dst, tag) on two communicators must not cross-match.
+  const Comm& alt = m.make_comm({0, 2});
+  std::vector<int> order;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      auto a = bytes_of("W");
+      auto b = bytes_of("X");
+      co_await r.send(m.world(), 2, 1, 1, a);
+      co_await r.send(alt, 1, 1, 1, b);  // comm rank 1 == world rank 2
+    } else if (r.world_rank() == 2) {
+      std::vector<std::byte> buf(1);
+      co_await r.recv(alt, 0, 1, 1, buf);
+      order.push_back(static_cast<int>(buf[0]));
+      co_await r.recv(m.world(), 0, 1, 1, buf);
+      order.push_back(static_cast<int>(buf[0]));
+    }
+    co_return;
+  });
+  EXPECT_EQ(order, (std::vector<int>{'X', 'W'}));
+}
+
+TEST_F(P2P, SelfSendRejected) {
+  EXPECT_THROW(m.run([&](Rank& r) -> CoTask<void> {
+                 if (r.world_rank() == 0) {
+                   co_await r.send(m.world(), 0, 0, 4);
+                 }
+                 co_return;
+               }),
+               util::InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Shared memory windows and collective slots
+
+TEST_F(P2P, ShmWindowPutGetRoundTrip) {
+  std::string got;
+  m.run([&](Rank& r) -> CoTask<void> {
+    if (r.node_id() != 0) co_return;
+    auto key = r.next_coll_key(100);
+    CollSlot& slot = r.node().slot(key);
+    if (!slot.initialized) {
+      slot.windows.emplace_back(64, /*owner_socket=*/0, m.with_data());
+      slot.latches.emplace_back(r.engine(), 1);
+      slot.initialized = true;
+    }
+    if (r.local_rank() == 0) {
+      auto data = bytes_of("windowed");
+      co_await r.shm_put(slot.windows[0], 8, data.size(), data);
+      co_await r.signal(slot.latches[0]);
+    } else {
+      co_await slot.latches[0].wait();
+      std::vector<std::byte> buf(8);
+      co_await r.shm_get(slot.windows[0], 8, 8, buf);
+      got = string_of(buf, 8);
+    }
+    r.node().release_slot(key, 2);
+    co_return;
+  });
+  EXPECT_EQ(got, "windowed");
+  EXPECT_EQ(m.node(0).live_slots(), 0u);
+}
+
+TEST_F(P2P, ShmWindowOutOfRangeThrows) {
+  EXPECT_THROW(m.run([&](Rank& r) -> CoTask<void> {
+                 if (r.world_rank() == 0) {
+                   ShmWindow w(16, 0, m.with_data());
+                   co_await r.shm_put(w, 12, 8, {});
+                 }
+                 co_return;
+               }),
+               util::InvariantError);
+}
+
+TEST_F(P2P, CollKeysAdvancePerContext) {
+  Rank& r = m.rank(0);
+  auto k1 = r.next_coll_key(5);
+  auto k2 = r.next_coll_key(5);
+  auto k3 = r.next_coll_key(6);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(k2 - k1, 1);
+}
+
+TEST_F(P2P, MetadataOnlyRunMovesNoBytes) {
+  RunOptions opt;
+  opt.with_data = false;
+  Machine md(net::test_cluster(2), 2, 2, opt);
+  Time t_meta = 0;
+  md.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(md.world(), 2, 0, 4096);
+    } else if (r.world_rank() == 2) {
+      auto res = co_await r.recv(md.world(), 0, 0, 4096);
+      EXPECT_EQ(res.bytes, 4096u);
+      t_meta = r.engine().now();
+    }
+    co_return;
+  });
+  // Same exchange with data: simulated time must be identical.
+  Machine mdata(net::test_cluster(2), 2, 2);
+  std::vector<std::byte> payload(4096, std::byte{1});
+  Time t_data = 0;
+  mdata.run([&](Rank& r) -> CoTask<void> {
+    if (r.world_rank() == 0) {
+      co_await r.send(mdata.world(), 2, 0, 4096, payload);
+    } else if (r.world_rank() == 2) {
+      std::vector<std::byte> buf(4096);
+      co_await r.recv(mdata.world(), 0, 0, 4096, buf);
+      t_data = r.engine().now();
+    }
+    co_return;
+  });
+  EXPECT_EQ(t_meta, t_data);
+  EXPECT_GT(t_meta, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Transport timing properties
+
+// Aggregate throughput of `pairs` concurrent streams relative to one stream,
+// all senders on node 0, receivers on node 1.
+double relative_throughput(const net::ClusterConfig& cfg, int pairs,
+                           std::size_t bytes, int msgs_per_pair = 16) {
+  auto run_once = [&](int np) -> double {
+    Machine mm(cfg, 2, np);
+    mm.run([&, np](Rank& r) -> CoTask<void> {
+      if (r.node_id() == 0) {
+        for (int i = 0; i < 16; ++i) {
+          co_await r.send(mm.world(), np + r.local_rank(), i, bytes);
+        }
+      } else {
+        for (int i = 0; i < 16; ++i) {
+          co_await r.recv(mm.world(), r.local_rank(), i, bytes);
+        }
+      }
+      co_return;
+    });
+    const double total_bytes =
+        static_cast<double>(bytes) * msgs_per_pair * np;
+    return total_bytes / sim::to_seconds(mm.now());
+  };
+  return run_once(pairs) / run_once(1);
+}
+
+TEST(Transport, IbConcurrencyScalesForLargeMessages) {
+  auto cfg = net::cluster_b();
+  const double rel = relative_throughput(cfg, 8, 64 * 1024);
+  EXPECT_GT(rel, 3.5);  // paper Figure 1(b): close to #pairs
+}
+
+TEST(Transport, OpaLargeMessagesDoNotScale) {
+  auto cfg = net::cluster_c();
+  const double rel = relative_throughput(cfg, 8, 512 * 1024);
+  EXPECT_LT(rel, 2.0);  // paper Figure 1(c) Zone C: ~1
+}
+
+TEST(Transport, OpaSmallMessagesScale) {
+  auto cfg = net::cluster_c();
+  const double rel = relative_throughput(cfg, 8, 64);
+  EXPECT_GT(rel, 5.0);  // Zone A: near-linear with pairs
+}
+
+TEST(Transport, DeterministicAcrossRuns) {
+  auto once = [] {
+    Machine mm(net::test_cluster(4), 4, 4);
+    mm.run([&](Rank& r) -> CoTask<void> {
+      const int p = mm.world_size();
+      // Everyone sends to (rank+5)%p and receives from (rank-5+p)%p.
+      auto f = r.isend(mm.world(), (r.world_rank() + 5) % p, 0, 2048);
+      co_await r.recv(mm.world(), (r.world_rank() + p - 5) % p, 0, 2048);
+      co_await f->wait();
+    });
+    return mm.now();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Transport, NoopRun) {
+  Machine mm(net::test_cluster(2), 1, 1);
+  mm.run(noop);
+  EXPECT_EQ(mm.now(), 0);
+}
+
+}  // namespace
+}  // namespace dpml::simmpi

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dpml::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  SplitMix64 a(42, 0);
+  SplitMix64 b(42, 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusive) {
+  SplitMix64 rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t({"size", "latency"});
+  t.row().cell(std::size_t{1024}).cell(3.14159, 2);
+  t.row().cell(std::string("big")).cell(std::size_t{7});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("size"), std::string::npos);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("1024,3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), InvariantError);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(4), "4");
+  EXPECT_EQ(format_bytes(1024), "1K");
+  EXPECT_EQ(format_bytes(64 * 1024), "64K");
+  EXPECT_EQ(format_bytes(1 << 20), "1M");
+  EXPECT_EQ(format_bytes(1536), "1536");  // non-multiple stays raw
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(3.2e-9), "3.20ns");
+  EXPECT_EQ(format_seconds(4.5e-6), "4.50us");
+  EXPECT_EQ(format_seconds(7.25e-3), "7.25ms");
+  EXPECT_EQ(format_seconds(2.0), "2.00s");
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DPML_CHECK_MSG(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpml::util

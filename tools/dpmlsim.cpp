@@ -1,0 +1,376 @@
+// dpmlsim — command-line driver for the simulated-cluster collective lab.
+//
+// Subcommands:
+//   latency     measure one allreduce design over a size sweep
+//   sweep       leader-count sweep table (Figures 4-7 style)
+//   tune        empirical per-size tuning; prints a selection table
+//   throughput  osu_mbw_mr relative-throughput table (Figure 1 style)
+//   fit         fit the Section-5 model constants from the transport
+//   hpcg        HPCG DDOT application kernel
+//   miniamr     miniAMR refinement application kernel
+//
+// Common flags: --cluster A|B|C|D|test  --nodes N  --ppn P
+// Examples:
+//   dpmlsim latency --cluster B --nodes 16 --ppn 28 --algo dpml --leaders 8
+//   dpmlsim sweep --cluster C --nodes 64 --ppn 28 --sizes 4:1M
+//   dpmlsim tune --cluster A --nodes 8 --ppn 28
+//   dpmlsim throughput --cluster C --pairs 8
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <iostream>
+#include <string>
+
+#include "apps/hpcg.hpp"
+#include "apps/miniamr.hpp"
+#include "apps/osu.hpp"
+#include "apps/stencil.hpp"
+#include "apps/dl.hpp"
+#include "apps/replay.hpp"
+#include "core/selection.hpp"
+#include "model/fit.hpp"
+#include "net/cluster.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dpml;
+
+int usage() {
+  std::cout <<
+      "usage: dpmlsim <latency|sweep|tune|throughput|pingpong|fit|hpcg|miniamr|stencil|dl|replay|verify> "
+      "[--cluster X] [--nodes N] [--ppn P] ...\n"
+      "  latency:    --algo NAME --leaders L --pipeline K --sizes LO:HI[:F] "
+      "--data\n"
+      "  sweep:      --sizes LO:HI[:F]\n"
+      "  tune:       --sizes LO:HI[:F]\n"
+      "  throughput: --pairs N --sizes LO:HI[:F] --intra\n"
+      "  fit:        (no extra flags)\n"
+      "  hpcg:       --iterations N --algo NAME\n"
+      "  miniamr:    --steps N --blocks B --algo NAME\n"
+      "  stencil:    --sweeps N --check-every K --algo NAME\n"
+      "  dl:         --steps N --buckets B --bucket BYTES --overlap BOOL\n"
+      "  replay:     --trace FILE --reps N --algo NAME\n"
+      "  verify:     --nodes N --ppn P  (data-mode self-test)\n"
+      "common:       --cluster A|B|C|D|test --nodes N --ppn P --rails R\n";
+  return 2;
+}
+
+core::MeasureOptions measure_opts(const util::Args& args) {
+  core::MeasureOptions opt;
+  opt.iterations = static_cast<int>(args.get_int("iterations", 3));
+  opt.warmup = static_cast<int>(args.get_int("warmup", 1));
+  opt.with_data = args.get_bool("data", false);
+  return opt;
+}
+
+int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
+                int nodes, int ppn) {
+  core::AllreduceSpec spec;
+  spec.algo = core::algorithm_by_name(args.get("algo", "dpml"));
+  spec.leaders = static_cast<int>(args.get_int("leaders", 4));
+  spec.pipeline_k = static_cast<int>(args.get_int("pipeline", 1));
+  // --table FILE: dispatch through a tuned selection table instead.
+  std::optional<core::SelectionTable> table;
+  const std::string table_path = args.get("table");
+  if (!table_path.empty()) {
+    std::ifstream is(table_path);
+    if (!is) {
+      std::cerr << "cannot open selection table " << table_path << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    table = core::SelectionTable::parse(ss.str());
+  }
+  const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
+  util::Table t({"msg size", "design", "latency (us)", "verified"});
+  for (std::size_t bytes : sizes) {
+    const core::AllreduceSpec used = table ? table->select(bytes) : spec;
+    const auto r =
+        core::measure_allreduce(cfg, nodes, ppn, bytes, used, measure_opts(args));
+    t.row()
+        .cell(util::format_bytes(bytes))
+        .cell(used.label())
+        .cell(r.avg_us, 2)
+        .cell(std::string(r.verified ? "yes" : "NO"));
+  }
+  std::cout << (table ? "table-driven" : spec.label()) << " on cluster "
+            << cfg.name << ", " << nodes << "x" << ppn << "\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_verify(const util::Args& args, const net::ClusterConfig& cfg) {
+  // Self-test: run every algorithm in data mode on a small shape and check
+  // results bit-for-bit against the serial reference.
+  const int nodes = static_cast<int>(args.get_int("nodes", 4));
+  const int ppn = std::min(static_cast<int>(args.get_int("ppn", 4)),
+                           cfg.max_ppn());
+  core::MeasureOptions opt;
+  opt.with_data = true;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  util::Table t({"algorithm", "256B", "17KB"});
+  bool all_ok = true;
+  for (core::Algorithm algo :
+       {core::Algorithm::recursive_doubling,
+        core::Algorithm::reduce_scatter_allgather, core::Algorithm::ring,
+        core::Algorithm::binomial, core::Algorithm::gather_bcast,
+        core::Algorithm::single_leader, core::Algorithm::dpml,
+        core::Algorithm::sharp_node_leader,
+        core::Algorithm::sharp_socket_leader, core::Algorithm::mvapich2,
+        core::Algorithm::intelmpi, core::Algorithm::dpml_auto}) {
+    if (core::needs_fabric(algo) && !cfg.has_sharp()) continue;
+    core::AllreduceSpec spec;
+    spec.algo = algo;
+    t.row().cell(std::string(core::algorithm_name(algo)));
+    for (std::size_t bytes : {256ul, 17408ul}) {
+      const auto r = core::measure_allreduce(cfg, nodes, ppn, bytes, spec, opt);
+      all_ok &= r.verified;
+      t.cell(std::string(r.verified ? "ok" : "FAIL"));
+    }
+  }
+  t.print(std::cout);
+  std::cout << (all_ok ? "all designs verified bit-for-bit\n"
+                       : "VERIFICATION FAILURES\n");
+  return all_ok ? 0 : 1;
+}
+
+int cmd_sweep(const util::Args& args, const net::ClusterConfig& cfg,
+              int nodes, int ppn) {
+  const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
+  std::vector<std::string> header{"msg size"};
+  for (int l : {1, 2, 4, 8, 16}) header.push_back("l=" + std::to_string(l));
+  util::Table t(header);
+  for (std::size_t bytes : sizes) {
+    t.row().cell(util::format_bytes(bytes));
+    for (int l : {1, 2, 4, 8, 16}) {
+      core::AllreduceSpec spec;
+      spec.algo = core::Algorithm::dpml;
+      spec.leaders = l;
+      t.cell(core::measure_allreduce(cfg, nodes, ppn, bytes, spec,
+                                     measure_opts(args))
+                 .avg_us,
+             2);
+    }
+  }
+  std::cout << "DPML leader sweep, cluster " << cfg.name << ", " << nodes
+            << "x" << ppn << " (latency us)\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const util::Args& args, const net::ClusterConfig& cfg, int nodes,
+             int ppn) {
+  const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
+  const auto table =
+      core::SelectionTable::tune(cfg, nodes, ppn, sizes, measure_opts(args));
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    os << table.serialize();
+    std::cout << "selection table written to " << out << "\n";
+  } else {
+    std::cout << table.serialize();
+  }
+  return 0;
+}
+
+int cmd_pingpong(const util::Args& args, const net::ClusterConfig& cfg) {
+  const bool intra = args.get_bool("intra", false);
+  const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
+  util::Table t({"msg size", "one-way latency"});
+  for (std::size_t bytes : sizes) {
+    t.row()
+        .cell(util::format_bytes(bytes))
+        .cell(util::format_seconds(apps::osu_latency(cfg, bytes, intra)));
+  }
+  std::cout << (intra ? "intra-node (same socket)" : "inter-node")
+            << " pingpong, cluster " << cfg.name << "\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_throughput(const util::Args& args, const net::ClusterConfig& cfg,
+                   int /*nodes*/, int /*ppn*/) {
+  const int pairs = static_cast<int>(args.get_int("pairs", 8));
+  const bool intra = args.get_bool("intra", false);
+  const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
+  util::Table t({"msg size", "1 pair (MB/s)", "aggregate (MB/s)", "relative"});
+  for (std::size_t bytes : sizes) {
+    apps::MbwMrOptions one;
+    one.pairs = 1;
+    one.bytes = bytes;
+    one.intra_node = intra;
+    apps::MbwMrOptions many = one;
+    many.pairs = pairs;
+    const auto r1 = apps::osu_mbw_mr(cfg, one);
+    const auto rn = apps::osu_mbw_mr(cfg, many);
+    t.row()
+        .cell(util::format_bytes(bytes))
+        .cell(r1.mb_per_s, 1)
+        .cell(rn.mb_per_s, 1)
+        .cell(rn.mb_per_s / r1.mb_per_s, 2);
+  }
+  std::cout << (intra ? "intra-node" : "inter-node") << " throughput, "
+            << pairs << " pairs, cluster " << cfg.name << "\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_fit(const net::ClusterConfig& cfg) {
+  const auto f = model::fit_from_simulation(cfg);
+  util::Table t({"constant", "fitted", "meaning"});
+  t.row().cell(std::string("a")).cell(util::format_seconds(f.a)).cell(
+      std::string("inter-node startup"));
+  t.row().cell(std::string("b")).cell(f.b * 1e9, 4).cell(
+      std::string("inter-node ns/byte"));
+  t.row().cell(std::string("a'")).cell(util::format_seconds(f.a2)).cell(
+      std::string("shared-memory startup"));
+  t.row().cell(std::string("b'")).cell(f.b2 * 1e9, 4).cell(
+      std::string("shared-memory ns/byte"));
+  t.row().cell(std::string("c")).cell(f.c * 1e9, 4).cell(
+      std::string("reduction ns/byte"));
+  std::cout << "Section-5 model constants fitted from the simulated "
+            << "transport of cluster " << cfg.name << "\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_hpcg(const util::Args& args, const net::ClusterConfig& cfg, int nodes,
+             int ppn) {
+  apps::HpcgOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  o.iterations = static_cast<int>(args.get_int("iterations", 25));
+  o.spec.algo = core::algorithm_by_name(args.get("algo", "mvapich2"));
+  const auto r = apps::run_hpcg(cfg, o);
+  std::cout << "HPCG on cluster " << cfg.name << ", " << nodes * ppn
+            << " ranks, " << o.iterations << " iterations with "
+            << core::algorithm_name(o.spec.algo) << ":\n"
+            << "  DDOT total:  " << util::format_seconds(r.ddot_s) << "\n"
+            << "  per DDOT:    " << r.ddot_avg_us << " us\n"
+            << "  CG loop:     " << util::format_seconds(r.total_s) << "\n";
+  return 0;
+}
+
+int cmd_stencil(const util::Args& args, const net::ClusterConfig& cfg,
+                int nodes, int ppn) {
+  apps::StencilOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  o.sweeps = static_cast<int>(args.get_int("sweeps", 20));
+  o.check_every = static_cast<int>(args.get_int("check-every", 4));
+  o.spec.algo = core::algorithm_by_name(args.get("algo", "dpml-auto"));
+  const auto r = apps::run_stencil(cfg, o);
+  std::cout << "3D stencil on cluster " << cfg.name << ", grid " << r.grid[0]
+            << "x" << r.grid[1] << "x" << r.grid[2] << ":\n"
+            << "  total:      " << util::format_seconds(r.total_s) << "\n"
+            << "  halo:       " << util::format_seconds(r.halo_s) << "\n"
+            << "  allreduce:  " << util::format_seconds(r.allreduce_s)
+            << " over " << r.residual_checks << " residual checks\n";
+  return 0;
+}
+
+int cmd_dl(const util::Args& args, const net::ClusterConfig& cfg, int nodes,
+           int ppn) {
+  apps::DlOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  o.steps = static_cast<int>(args.get_int("steps", 4));
+  o.buckets = static_cast<int>(args.get_int("buckets", 16));
+  o.bucket_bytes = args.get_bytes("bucket", 4 << 20);
+  o.overlap = args.get_bool("overlap", true);
+  o.spec.algo = core::algorithm_by_name(args.get("algo", "dpml-auto"));
+  const auto r = apps::run_dl_training(cfg, o);
+  std::cout << "SGD on cluster " << cfg.name << " with "
+            << core::algorithm_name(o.spec.algo)
+            << (o.overlap ? " (overlapped)" : " (blocking)") << ":\n"
+            << "  step time:     " << util::format_seconds(r.step_s) << "\n"
+            << "  exposed comm:  " << util::format_seconds(r.exposed_comm_s)
+            << "\n";
+  return 0;
+}
+
+int cmd_replay(const util::Args& args, const net::ClusterConfig& cfg,
+               int nodes, int ppn) {
+  std::vector<apps::TraceOp> trace;
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    trace = apps::parse_trace(apps::example_trace());
+    std::cout << "(no --trace file given; replaying the built-in "
+                 "production-like mix)\n";
+  } else {
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "cannot open trace file " << path << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    trace = apps::parse_trace(ss.str());
+  }
+  apps::ReplayOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  o.repetitions = static_cast<int>(args.get_int("reps", 1));
+  o.spec.algo = core::algorithm_by_name(args.get("algo", "dpml-auto"));
+  const auto r = apps::replay_trace(cfg, trace, o);
+  std::cout << "replayed " << r.ops << " collective ops on cluster "
+            << cfg.name << " with " << core::algorithm_name(o.spec.algo)
+            << ":\n  total: " << util::format_seconds(r.total_s)
+            << "\n  in collectives: " << util::format_seconds(r.comm_s)
+            << " (" << (r.comm_s / r.total_s) * 100.0 << "%)\n";
+  return 0;
+}
+
+int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
+                int nodes, int ppn) {
+  apps::MiniAmrOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  o.refine_steps = static_cast<int>(args.get_int("steps", 10));
+  o.blocks_per_rank = static_cast<int>(args.get_int("blocks", 32));
+  o.spec.algo = core::algorithm_by_name(args.get("algo", "dpml-auto"));
+  const auto r = apps::run_miniamr(cfg, o);
+  std::cout << "miniAMR on cluster " << cfg.name << ", " << nodes * ppn
+            << " ranks, " << o.refine_steps << " steps with "
+            << core::algorithm_name(o.spec.algo) << ":\n"
+            << "  refinement total: " << util::format_seconds(r.refine_s)
+            << "\n  per step:         " << r.per_step_us << " us\n"
+            << "  final blocks:     " << r.final_blocks << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string cmd = args.positional()[0];
+  try {
+    net::ClusterConfig cfg = net::cluster_by_name(args.get("cluster", "B"));
+    const int rails = static_cast<int>(args.get_int("rails", 1));
+    if (rails > 1) cfg = net::with_rails(cfg, rails);
+    const int nodes = static_cast<int>(args.get_int("nodes", 8));
+    const int ppn = static_cast<int>(args.get_int("ppn", cfg.max_ppn()));
+    if (cmd == "latency") return cmd_latency(args, cfg, nodes, ppn);
+    if (cmd == "sweep") return cmd_sweep(args, cfg, nodes, ppn);
+    if (cmd == "tune") return cmd_tune(args, cfg, nodes, ppn);
+    if (cmd == "throughput") return cmd_throughput(args, cfg, nodes, ppn);
+    if (cmd == "pingpong") return cmd_pingpong(args, cfg);
+    if (cmd == "fit") return cmd_fit(cfg);
+    if (cmd == "hpcg") return cmd_hpcg(args, cfg, nodes, ppn);
+    if (cmd == "miniamr") return cmd_miniamr(args, cfg, nodes, ppn);
+    if (cmd == "stencil") return cmd_stencil(args, cfg, nodes, ppn);
+    if (cmd == "dl") return cmd_dl(args, cfg, nodes, ppn);
+    if (cmd == "replay") return cmd_replay(args, cfg, nodes, ppn);
+    if (cmd == "verify") return cmd_verify(args, cfg);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "dpmlsim: " << e.what() << "\n";
+    return 1;
+  }
+}
