@@ -1,61 +1,34 @@
 // Extension bench (paper §8 future work): applying the multi-leader /
-// shared-memory treatment to other collectives. Compares rooted-reduce and
-// broadcast designs on cluster B at 16x28.
+// shared-memory treatment to other collectives. Compares the registered
+// rooted-reduce and broadcast designs on cluster B at 16x28, with the
+// candidate set coming straight from the collective registry (the same
+// sweep the tuner uses).
 //
 // Expected shapes: binomial wins small messages; for large messages the
 // bandwidth-optimal flat designs (rsa-gather / scatter-allgather) beat
 // binomial, and the hierarchical designs beat flat at full subscription for
 // the same NIC-pressure reason as allreduce; DPML-reduce adds the
 // parallel-compute advantage on top.
-#include <memory>
-#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
-#include "coll/bcast.hpp"
-#include "coll/reduce.hpp"
+#include "core/tuner.hpp"
 #include "net/cluster.hpp"
-#include "simmpi/machine.hpp"
 
 namespace {
 
 using namespace dpml;
 
-// Latency of one rooted reduce with the given design.
-double reduce_latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
-                         std::size_t bytes, coll::ReduceAlgo algo,
-                         int leaders) {
-  simmpi::RunOptions opt;
+double latency_us(core::CollKind kind, const net::ClusterConfig& cfg,
+                  int nodes, int ppn, std::size_t bytes,
+                  const core::CollSpec& spec) {
+  core::MeasureOptions opt;
+  opt.iterations = 1;
+  opt.warmup = 1;
   opt.with_data = false;
-  simmpi::Machine m(cfg, nodes, ppn, opt);
-  m.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
-    coll::ReduceArgs a;
-    a.rank = &r;
-    a.comm = &m.world();
-    a.root = 0;
-    a.count = bytes / 4;
-    a.inplace = true;
-    coll::DpmlParams dp;
-    dp.leaders = leaders;
-    co_await coll::reduce(a, algo, dp);
-  });
-  return sim::to_us(m.now());
-}
-
-double bcast_latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
-                        std::size_t bytes, coll::BcastAlgo algo) {
-  simmpi::RunOptions opt;
-  opt.with_data = false;
-  simmpi::Machine m(cfg, nodes, ppn, opt);
-  m.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
-    coll::BcastArgs a;
-    a.rank = &r;
-    a.comm = &m.world();
-    a.root = 0;
-    a.bytes = bytes;
-    co_await coll::bcast(a, algo);
-  });
-  return sim::to_us(m.now());
+  return core::measure_collective(kind, cfg, nodes, ppn, bytes, spec, opt)
+      .avg_us;
 }
 
 }  // namespace
@@ -67,44 +40,28 @@ int main(int argc, char** argv) {
   static benchx::SeriesStore reduce_store;
   static benchx::SeriesStore bcast_store;
 
-  struct RAlgo {
-    const char* label;
-    coll::ReduceAlgo algo;
-    int leaders;
+  struct Series {
+    core::CollKind kind;
+    const char* tag;
+    benchx::SeriesStore* store;
   };
-  const RAlgo ralgos[] = {
-      {"binomial", coll::ReduceAlgo::binomial, 1},
-      {"rsa-gather", coll::ReduceAlgo::rsa_gather, 1},
-      {"single-leader", coll::ReduceAlgo::single_leader, 1},
-      {"dpml(l=8)", coll::ReduceAlgo::dpml, 8},
-      {"dpml(l=16)", coll::ReduceAlgo::dpml, 16},
-  };
-  struct BAlgo {
-    const char* label;
-    coll::BcastAlgo algo;
-  };
-  const BAlgo balgos[] = {
-      {"binomial", coll::BcastAlgo::binomial},
-      {"scatter-allgather", coll::BcastAlgo::scatter_allgather},
-      {"single-leader", coll::BcastAlgo::single_leader},
+  const Series series[] = {
+      {core::CollKind::reduce, "ext-reduce", &reduce_store},
+      {core::CollKind::bcast, "ext-bcast", &bcast_store},
   };
 
   for (std::size_t bytes : benchx::paper_sizes()) {
     const std::string row = util::format_bytes(bytes);
-    for (const RAlgo& ra : ralgos) {
-      benchx::register_point(
-          std::string("ext-reduce/bytes:") + row + "/" + ra.label,
-          reduce_store, row, ra.label, [=]() {
-            return reduce_latency_us(cfg, nodes, ppn, bytes, ra.algo,
-                                     ra.leaders);
-          });
-    }
-    for (const BAlgo& ba : balgos) {
-      benchx::register_point(
-          std::string("ext-bcast/bytes:") + row + "/" + ba.label, bcast_store,
-          row, ba.label, [=]() {
-            return bcast_latency_us(cfg, nodes, ppn, bytes, ba.algo);
-          });
+    for (const Series& s : series) {
+      for (const core::CollSpec& cand :
+           core::registry_candidates(s.kind, ppn, cfg.has_sharp(), bytes)) {
+        const std::string label = cand.label(s.kind);
+        benchx::register_point(
+            std::string(s.tag) + "/bytes:" + row + "/" + label, *s.store, row,
+            label, [=]() {
+              return latency_us(s.kind, cfg, nodes, ppn, bytes, cand);
+            });
+      }
     }
   }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -309,5 +310,46 @@ sim::CoTask<void> scatterv(ScattervArgs a) {
     co_await r.recv(c, a.root, a.tag_base, mine, a.recv);
   }
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+// The registry's shared CollArgs entry currency, adapted to AlltoallArgs:
+// `count` is the per-destination element count, so CollArgs::bytes() is the
+// per-peer block and send/recv span p blocks.
+AlltoallArgs to_alltoall_args(const CollArgs& a) {
+  AlltoallArgs aa;
+  aa.rank = a.rank;
+  aa.comm = a.comm;
+  aa.block_bytes = a.bytes();
+  aa.send = a.send;
+  aa.recv = a.recv;
+  aa.tag_base = a.tag_base;
+  return aa;
+}
+
+CollDescriptor alltoall_desc(const char* name, AlltoallAlgo algo,
+                             CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::alltoall;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return alltoall(to_alltoall_args(a), algo);
+  };
+  return d;
+}
+
+const CollRegistration reg_alltoall_bruck{
+    alltoall_desc("bruck", AlltoallAlgo::bruck, CollCaps{.tunable = true})};
+const CollRegistration reg_alltoall_pairwise{alltoall_desc(
+    "pairwise", AlltoallAlgo::pairwise, CollCaps{.tunable = true})};
+const CollRegistration reg_alltoall_auto{
+    alltoall_desc("auto", AlltoallAlgo::automatic, CollCaps{})};
+
+}  // namespace
+
+void link_alltoall_collectives() {}
 
 }  // namespace dpml::coll

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "coll/dpml.hpp"
+#include "coll/registry.hpp"
 
 namespace dpml::coll {
 
@@ -27,5 +28,28 @@ sim::CoTask<void> allreduce_intelmpi(CollArgs a) {
   p.inter = InterAlgo::reduce_scatter_allgather;
   return allreduce_dpml(std::move(a), p);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+CollDescriptor library_desc(const char* name,
+                            sim::CoTask<void> (*fn)(CollArgs)) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::allreduce;
+  d.caps = CollCaps{.world_only = true};
+  d.make = [fn](CollArgs a, const CollSpec&) { return fn(std::move(a)); };
+  return d;
+}
+
+const CollRegistration reg_mvapich2{
+    library_desc("mvapich2", allreduce_mvapich2)};
+const CollRegistration reg_intelmpi{
+    library_desc("intelmpi", allreduce_intelmpi)};
+
+}  // namespace
+
+void link_baseline_collectives() {}
 
 }  // namespace dpml::coll

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -189,5 +190,48 @@ sim::CoTask<void> bcast_single_leader(BcastArgs a) {
   }
   r.node().release_slot(key, ppn);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+// The registry's shared CollArgs entry currency, adapted to BcastArgs: the
+// payload travels in `recv` (valid at root, filled elsewhere).
+BcastArgs to_bcast_args(const CollArgs& a) {
+  BcastArgs ba;
+  ba.rank = a.rank;
+  ba.comm = a.comm;
+  ba.root = a.root;
+  ba.bytes = a.bytes();
+  ba.buf = a.recv;
+  ba.tag_base = a.tag_base;
+  return ba;
+}
+
+CollDescriptor bcast_desc(const char* name, BcastAlgo algo, CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::bcast;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return bcast(to_bcast_args(a), algo);
+  };
+  return d;
+}
+
+const CollRegistration reg_bcast_binomial{
+    bcast_desc("binomial", BcastAlgo::binomial, CollCaps{.tunable = true})};
+const CollRegistration reg_bcast_sag{
+    bcast_desc("scatter-allgather", BcastAlgo::scatter_allgather,
+               CollCaps{.tunable = true})};
+const CollRegistration reg_bcast_single_leader{
+    bcast_desc("single-leader", BcastAlgo::single_leader,
+               CollCaps{.world_only = true, .tunable = true})};
+const CollRegistration reg_bcast_auto{
+    bcast_desc("auto", BcastAlgo::automatic, CollCaps{})};
+
+}  // namespace
+
+void link_bcast_collectives() {}
 
 }  // namespace dpml::coll

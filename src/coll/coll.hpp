@@ -34,6 +34,7 @@ struct CollArgs {
   MutBytes recv{};
   int tag_base = 0;     // tag namespace for concurrent sub-collectives
   bool inplace = false; // recv already holds the input vector (MPI_IN_PLACE)
+  int root = 0;         // rooted kinds (reduce/bcast) only; ignored otherwise
 
   std::size_t bytes() const { return count * simmpi::dtype_size(dt); }
   // Allocate a scratch buffer honouring the machine's data mode.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -219,5 +220,38 @@ sim::CoTask<void> allreduce_dpml(CollArgs a, DpmlParams params) {
   }
   r.node().release_slot(key, ppn);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+const CollRegistration reg_single_leader{{
+    "single-leader",
+    CollKind::allreduce,
+    CollCaps{.world_only = true},
+    [](CollArgs a, const CollSpec& s) {
+      return allreduce_single_leader(std::move(a), s.inter);
+    },
+}};
+
+const CollRegistration reg_dpml{{
+    "dpml",
+    CollKind::allreduce,
+    CollCaps{.uses_leaders = true,
+             .supports_pipelining = true,
+             .world_only = true,
+             .tunable = true},
+    [](CollArgs a, const CollSpec& s) {
+      DpmlParams p;
+      p.leaders = s.leaders;
+      p.pipeline_k = s.pipeline_k;
+      p.inter = s.inter;
+      return allreduce_dpml(std::move(a), p);
+    },
+}};
+
+}  // namespace
+
+void link_dpml_collectives() {}
 
 }  // namespace dpml::coll

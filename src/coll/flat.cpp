@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "coll/coll.hpp"
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -338,5 +339,30 @@ sim::CoTask<void> allreduce_gather_bcast(CollArgs a) {
     co_await r.recv(c, 0, a.tag_base + 1, nbytes, a.recv);
   }
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+CollDescriptor flat_desc(const char* name,
+                         sim::CoTask<void> (*fn)(CollArgs)) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::allreduce;
+  d.make = [fn](CollArgs a, const CollSpec&) { return fn(std::move(a)); };
+  return d;
+}
+
+const CollRegistration reg_rd{flat_desc("rd", allreduce_recursive_doubling)};
+const CollRegistration reg_rsa{
+    flat_desc("rsa", allreduce_reduce_scatter_allgather)};
+const CollRegistration reg_ring{flat_desc("ring", allreduce_ring)};
+const CollRegistration reg_binomial{flat_desc("binomial", allreduce_binomial)};
+const CollRegistration reg_gather_bcast{
+    flat_desc("gather-bcast", allreduce_gather_bcast)};
+
+}  // namespace
+
+void link_flat_collectives() {}
 
 }  // namespace dpml::coll

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -361,5 +362,59 @@ sim::CoTask<void> reduce_dpml(ReduceArgs a, DpmlParams params) {
   }
   r.node().release_slot(key, ppn);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+// The registry's shared CollArgs entry currency, adapted to ReduceArgs.
+ReduceArgs to_reduce_args(const CollArgs& a) {
+  ReduceArgs ra;
+  ra.rank = a.rank;
+  ra.comm = a.comm;
+  ra.root = a.root;
+  ra.count = a.count;
+  ra.dt = a.dt;
+  ra.op = a.op;
+  ra.send = a.send;
+  ra.recv = a.recv;
+  ra.tag_base = a.tag_base;
+  ra.inplace = a.inplace;
+  return ra;
+}
+
+CollDescriptor reduce_desc(const char* name, ReduceAlgo algo, CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::reduce;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec& s) {
+    DpmlParams p;
+    p.leaders = s.leaders;
+    p.pipeline_k = s.pipeline_k;
+    p.inter = s.inter;
+    return reduce(to_reduce_args(a), algo, p);
+  };
+  return d;
+}
+
+const CollRegistration reg_reduce_binomial{
+    reduce_desc("binomial", ReduceAlgo::binomial, CollCaps{.tunable = true})};
+const CollRegistration reg_reduce_rsa{reduce_desc(
+    "rsa-gather", ReduceAlgo::rsa_gather, CollCaps{.tunable = true})};
+const CollRegistration reg_reduce_single_leader{
+    reduce_desc("single-leader", ReduceAlgo::single_leader,
+                CollCaps{.world_only = true, .tunable = true})};
+const CollRegistration reg_reduce_dpml{
+    reduce_desc("dpml", ReduceAlgo::dpml,
+                CollCaps{.uses_leaders = true,
+                         .world_only = true,
+                         .tunable = true})};
+const CollRegistration reg_reduce_auto{
+    reduce_desc("auto", ReduceAlgo::automatic, CollCaps{})};
+
+}  // namespace
+
+void link_reduce_collectives() {}
 
 }  // namespace dpml::coll

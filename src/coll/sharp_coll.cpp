@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coll/dpml.hpp"
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -181,5 +182,37 @@ sim::CoTask<void> allreduce_sharp(CollArgs a, sharp::SharpFabric& fabric,
   }
   r.node().release_slot(key, ppn);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+CollDescriptor sharp_desc(const char* name, SharpDesign design) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::allreduce;
+  d.caps = CollCaps{.needs_fabric = true,
+                    .world_only = true,
+                    .tunable = true,
+                    // The fabric's useful aggregation range; the tuner only
+                    // sweeps the SHArP designs at paper-small sizes.
+                    .max_tune_bytes = 4096};
+  d.make = [design](CollArgs a, const CollSpec& s) {
+    DPML_CHECK_MSG(s.fabric != nullptr,
+                   std::string(sharp_design_name(design)) +
+                       " requires an attached SharpFabric");
+    return allreduce_sharp(std::move(a), *s.fabric, design);
+  };
+  return d;
+}
+
+const CollRegistration reg_sharp_node{
+    sharp_desc("sharp-node-leader", SharpDesign::node_leader)};
+const CollRegistration reg_sharp_socket{
+    sharp_desc("sharp-socket-leader", SharpDesign::socket_leader)};
+
+}  // namespace
+
+void link_sharp_collectives() {}
 
 }  // namespace dpml::coll

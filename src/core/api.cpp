@@ -1,9 +1,11 @@
 #include "core/api.hpp"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace dpml::core {
 
@@ -25,16 +27,28 @@ const char* algorithm_name(Algorithm algo) {
   return "?";
 }
 
+namespace {
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::recursive_doubling, Algorithm::reduce_scatter_allgather,
+    Algorithm::ring, Algorithm::binomial, Algorithm::gather_bcast,
+    Algorithm::single_leader, Algorithm::dpml, Algorithm::sharp_node_leader,
+    Algorithm::sharp_socket_leader, Algorithm::mvapich2, Algorithm::intelmpi,
+    Algorithm::dpml_auto};
+
+}  // namespace
+
 Algorithm algorithm_by_name(const std::string& name) {
-  for (Algorithm a :
-       {Algorithm::recursive_doubling, Algorithm::reduce_scatter_allgather,
-        Algorithm::ring, Algorithm::binomial, Algorithm::gather_bcast,
-        Algorithm::single_leader, Algorithm::dpml,
-        Algorithm::sharp_node_leader, Algorithm::sharp_socket_leader,
-        Algorithm::mvapich2, Algorithm::intelmpi, Algorithm::dpml_auto}) {
+  for (Algorithm a : kAllAlgorithms) {
     if (name == algorithm_name(a)) return a;
   }
-  DPML_CHECK_MSG(false, "unknown algorithm: " + name);
+  std::string valid;
+  for (Algorithm a : kAllAlgorithms) {
+    if (!valid.empty()) valid += ", ";
+    valid += algorithm_name(a);
+  }
+  DPML_CHECK_MSG(false,
+                 "unknown algorithm '" + name + "'; valid names: " + valid);
   return Algorithm::dpml;
 }
 
@@ -53,14 +67,34 @@ bool needs_fabric(Algorithm algo) {
          algo == Algorithm::sharp_socket_leader;
 }
 
+CollSpec to_generic(const AllreduceSpec& spec) {
+  CollSpec s;
+  s.algo = algorithm_name(spec.algo);
+  s.leaders = spec.leaders;
+  s.pipeline_k = spec.pipeline_k;
+  s.inter = spec.inter;
+  s.fabric = spec.fabric;
+  return s;
+}
+
+AllreduceSpec to_allreduce_spec(const CollSpec& spec) {
+  AllreduceSpec s;
+  s.algo = algorithm_by_name(spec.algo);
+  s.leaders = spec.leaders;
+  s.pipeline_k = spec.pipeline_k;
+  s.inter = spec.inter;
+  s.fabric = spec.fabric;
+  return s;
+}
+
 namespace {
 
-// The tuned selection table behind Algorithm::dpml_auto: the paper's
-// "proposed" configuration chosen per message size and platform (§6.4).
-// Small messages use SHArP when the fabric offers it; otherwise leader
-// counts grow with message size, and on fabrics whose large-message
-// throughput does not scale with concurrency (Omni-Path Zone C) the
-// inter-node phase is pipelined.
+// The tuned selection table behind "dpml-auto": the paper's "proposed"
+// configuration chosen per message size and platform (§6.4). Small
+// messages use SHArP when the fabric offers it; otherwise leader counts
+// grow with message size, and on fabrics whose large-message throughput
+// does not scale with concurrency (Omni-Path Zone C) the inter-node phase
+// is pipelined.
 AllreduceSpec auto_spec(const coll::CollArgs& args,
                         sharp::SharpFabric* fabric) {
   const auto& m = args.rank->machine();
@@ -100,57 +134,110 @@ AllreduceSpec auto_spec(const coll::CollArgs& args,
   return s;
 }
 
+// "dpml-auto" lives here rather than in src/coll because its resolution
+// policy (auto_spec) is a core-layer concern. api.cpp defines
+// run_collective itself, so this TU's statics are guaranteed initialized
+// before any dispatch can happen.
+const coll::CollRegistration reg_dpml_auto{{
+    "dpml-auto",
+    CollKind::allreduce,
+    coll::CollCaps{},
+    [](coll::CollArgs a, const CollSpec& s) {
+      AllreduceSpec resolved = auto_spec(a, s.fabric);
+      return run_allreduce(std::move(a), resolved);
+    }}};
+
+// Warn at most once per distinct clamp configuration; measurement loops
+// dispatch per rank per iteration and would otherwise flood stderr.
+void warn_leader_clamp(CollKind kind, const std::string& algo, int requested,
+                       int ppn) {
+  static std::set<std::string> warned;
+  const std::string key = std::string(coll::coll_kind_name(kind)) + "/" +
+                          algo + "/" + std::to_string(requested) + ">" +
+                          std::to_string(ppn);
+  if (!warned.insert(key).second) return;
+  DPML_WARN("clamping " << coll::coll_kind_name(kind) << "/" << algo
+                        << " leaders from " << requested << " to ppn=" << ppn);
+}
+
+// Tracing wrapper: records the calling rank's participation as a span and
+// accumulates per-(kind, label) stats. Only instantiated while the machine
+// traces, so the common path pays nothing for attribution.
+sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
+                                 coll::CollArgs args, CollSpec spec,
+                                 std::string label) {
+  simmpi::Rank& r = *args.rank;
+  simmpi::Machine& m = r.machine();
+  const int world_rank = r.world_rank();
+  const sim::Time start = m.now();
+  co_await d.make(std::move(args), spec);
+  const sim::Time end = m.now();
+  const char* kind = coll::coll_kind_name(d.kind);
+  m.trace(label.c_str(), kind, world_rank, start, end);
+  m.note_collective(std::string(kind) + "/" + label, end - start);
+}
+
 }  // namespace
 
-std::shared_ptr<sim::Flag> start_allreduce(coll::CollArgs args,
-                                           const AllreduceSpec& spec) {
+sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
+                                 const CollSpec& spec) {
+  DPML_CHECK_MSG(args.rank != nullptr && args.comm != nullptr,
+                 "CollArgs missing rank/comm");
+  const coll::CollDescriptor& d =
+      coll::CollRegistry::instance().at(kind, spec.algo);
+
+  // Validate the spec against the descriptor's capabilities here, before
+  // the coroutine starts, so misconfiguration fails with a clear message
+  // instead of deep inside a phase.
+  DPML_CHECK_MSG(spec.leaders >= 1,
+                 "spec.leaders must be >= 1 for " + d.name);
+  DPML_CHECK_MSG(spec.pipeline_k >= 1,
+                 "spec.pipeline_k must be >= 1 for " + d.name);
+  if (kind == CollKind::reduce || kind == CollKind::bcast) {
+    DPML_CHECK_MSG(args.root >= 0 && args.root < args.comm->size(),
+                   "root out of range for " + d.name);
+  }
+  if (d.caps.needs_fabric) {
+    DPML_CHECK_MSG(spec.fabric != nullptr,
+                   d.name + " requires an attached SharpFabric");
+  }
+  simmpi::Machine& m = args.rank->machine();
+  DPML_CHECK_MSG(args.comm->size() >= d.caps.min_comm_size,
+                 d.name + " needs a communicator of at least " +
+                     std::to_string(d.caps.min_comm_size) + " ranks");
+
+  CollSpec s = spec;
+  if (d.caps.uses_leaders && s.leaders > m.ppn()) {
+    warn_leader_clamp(kind, d.name, s.leaders, m.ppn());
+    s.leaders = m.ppn();
+  }
+
+  if (!m.tracing()) {
+    // Direct hand-off: the descriptor's coroutine is the collective, with
+    // no wrapper frame — simulated times are identical to calling the
+    // src/coll implementation directly.
+    return d.make(std::move(args), s);
+  }
+  std::string label = s.label(kind);
+  return run_attributed(d, std::move(args), std::move(s), std::move(label));
+}
+
+std::shared_ptr<sim::Flag> start_collective(CollKind kind, coll::CollArgs args,
+                                            const CollSpec& spec) {
   sim::Engine& engine = args.rank->engine();
-  return engine.spawn_sub(run_allreduce(std::move(args), spec));
+  return engine.spawn_sub(run_collective(kind, std::move(args), spec));
 }
 
 sim::CoTask<void> run_allreduce(coll::CollArgs args,
                                 const AllreduceSpec& spec) {
-  switch (spec.algo) {
-    case Algorithm::recursive_doubling:
-      return coll::allreduce_recursive_doubling(std::move(args));
-    case Algorithm::reduce_scatter_allgather:
-      return coll::allreduce_reduce_scatter_allgather(std::move(args));
-    case Algorithm::ring:
-      return coll::allreduce_ring(std::move(args));
-    case Algorithm::binomial:
-      return coll::allreduce_binomial(std::move(args));
-    case Algorithm::gather_bcast:
-      return coll::allreduce_gather_bcast(std::move(args));
-    case Algorithm::single_leader:
-      return coll::allreduce_single_leader(std::move(args), spec.inter);
-    case Algorithm::dpml: {
-      coll::DpmlParams p;
-      p.leaders = spec.leaders;
-      p.pipeline_k = spec.pipeline_k;
-      p.inter = spec.inter;
-      return coll::allreduce_dpml(std::move(args), p);
-    }
-    case Algorithm::sharp_node_leader:
-      DPML_CHECK_MSG(spec.fabric != nullptr,
-                     "sharp_node_leader requires an attached SharpFabric");
-      return coll::allreduce_sharp(std::move(args), *spec.fabric,
-                                   coll::SharpDesign::node_leader);
-    case Algorithm::sharp_socket_leader:
-      DPML_CHECK_MSG(spec.fabric != nullptr,
-                     "sharp_socket_leader requires an attached SharpFabric");
-      return coll::allreduce_sharp(std::move(args), *spec.fabric,
-                                   coll::SharpDesign::socket_leader);
-    case Algorithm::mvapich2:
-      return coll::allreduce_mvapich2(std::move(args));
-    case Algorithm::intelmpi:
-      return coll::allreduce_intelmpi(std::move(args));
-    case Algorithm::dpml_auto: {
-      AllreduceSpec resolved = auto_spec(args, spec.fabric);
-      return run_allreduce(std::move(args), resolved);
-    }
-  }
-  DPML_CHECK_MSG(false, "unreachable algorithm");
-  return {};
+  return run_collective(CollKind::allreduce, std::move(args),
+                        to_generic(spec));
+}
+
+std::shared_ptr<sim::Flag> start_allreduce(coll::CollArgs args,
+                                           const AllreduceSpec& spec) {
+  return start_collective(CollKind::allreduce, std::move(args),
+                          to_generic(spec));
 }
 
 }  // namespace dpml::core

@@ -1,6 +1,15 @@
-// Public entry point: one dispatcher over every allreduce design in the
-// repository. This is the API the examples, tests, and benches program
-// against; it mirrors what an MPI library's collective-selection layer does.
+// Public entry point: one registry-backed dispatcher over every collective
+// in the repository. This is the API the examples, tests, and benches
+// program against; it mirrors what an MPI library's collective-selection
+// layer does, generalized over the whole reduction-collective family
+// (allreduce, rooted reduce, bcast, alltoall).
+//
+// The generic path is run_collective(kind, args, spec): the (kind,
+// spec.algo) pair resolves to a coll::CollDescriptor in the registry, the
+// spec is validated against the descriptor's capability flags (clear
+// failures at dispatch instead of deep inside a phase), and the
+// descriptor's coroutine factory runs. run_allreduce and the Algorithm
+// enum remain as source-compatible shims over the allreduce kind.
 #pragma once
 
 #include <string>
@@ -8,10 +17,14 @@
 #include "coll/baselines.hpp"
 #include "coll/coll.hpp"
 #include "coll/dpml.hpp"
+#include "coll/registry.hpp"
 #include "coll/sharp_coll.hpp"
 #include "sharp/sharp.hpp"
 
 namespace dpml::core {
+
+using CollKind = coll::CollKind;
+using CollSpec = coll::CollSpec;
 
 enum class Algorithm {
   // Flat baselines
@@ -34,6 +47,7 @@ enum class Algorithm {
 };
 
 const char* algorithm_name(Algorithm algo);
+// Throws util::InvariantError listing every valid name on an unknown name.
 Algorithm algorithm_by_name(const std::string& name);
 
 struct AllreduceSpec {
@@ -47,15 +61,33 @@ struct AllreduceSpec {
   std::string label() const;
 };
 
-// Run one allreduce with the given spec. SPMD: every rank of args.comm
-// calls this with identical arguments.
+// Conversions between the enum-era allreduce spec and the registry's
+// generic spec. to_allreduce_spec throws if spec.algo is not a registered
+// allreduce algorithm name.
+CollSpec to_generic(const AllreduceSpec& spec);
+AllreduceSpec to_allreduce_spec(const CollSpec& spec);
+
+// Run one collective of `kind` with the given spec. SPMD: every rank of
+// args.comm calls this with identical arguments. Spec validation (unknown
+// algorithm, leaders/pipeline_k < 1, missing fabric) throws
+// util::InvariantError synchronously, before the coroutine starts; leaders
+// beyond the machine's ppn are clamped with a warning. When tracing is
+// enabled on the machine, every rank's participation is recorded as a
+// "<kind>" span labelled spec.label(kind), and per-(kind, algorithm)
+// counters accumulate in Machine::collective_stats().
+sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
+                                 const CollSpec& spec);
+
+// Non-blocking variant: starts the collective as a background sub-operation
+// of the calling rank and returns its completion flag.
+std::shared_ptr<sim::Flag> start_collective(CollKind kind, coll::CollArgs args,
+                                            const CollSpec& spec);
+
+// Compatibility shim over run_collective(CollKind::allreduce, ...).
 sim::CoTask<void> run_allreduce(coll::CollArgs args, const AllreduceSpec& spec);
 
-// Non-blocking variant (MPI_Iallreduce-style): starts the collective as a
-// background sub-operation of the calling rank and returns its completion
-// flag (co_await flag->wait(), or sim::wait_all for a waitall). The paper's
-// future work names non-blocking collectives; DPML-Pipelined already uses
-// this machinery internally.
+// Non-blocking allreduce shim (MPI_Iallreduce-style): co_await flag->wait(),
+// or sim::wait_all for a waitall.
 std::shared_ptr<sim::Flag> start_allreduce(coll::CollArgs args,
                                            const AllreduceSpec& spec);
 

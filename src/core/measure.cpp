@@ -1,5 +1,6 @@
 #include "core/measure.hpp"
 
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -18,7 +19,8 @@ struct Shared {
   std::vector<sim::Time> samples;
 };
 
-sim::CoTask<void> bench_rank(simmpi::Rank& r, const AllreduceSpec& spec,
+sim::CoTask<void> bench_rank(CollKind kind, simmpi::Rank& r,
+                             const coll::CollSpec& spec,
                              const MeasureOptions& opt, std::size_t count,
                              simmpi::ConstBytes send, simmpi::MutBytes recv,
                              std::shared_ptr<Shared> sh) {
@@ -32,9 +34,10 @@ sim::CoTask<void> bench_rank(simmpi::Rank& r, const AllreduceSpec& spec,
     a.count = count;
     a.dt = opt.dt;
     a.op = opt.op;
+    a.root = opt.root;
     a.send = send;
     a.recv = recv;
-    co_await run_allreduce(a, spec);
+    co_await run_collective(kind, a, spec);
     co_await sh->barrier.arrive_and_wait();
     if (r.world_rank() == 0 && it >= opt.warmup) {
       sh->samples.push_back(r.engine().now() - sh->iter_start);
@@ -42,17 +45,23 @@ sim::CoTask<void> bench_rank(simmpi::Rank& r, const AllreduceSpec& spec,
   }
 }
 
+// Per-destination operand index for alltoall block (src -> dst): every block
+// carries a distinct deterministic pattern so misrouted blocks are caught.
+int alltoall_block_id(int src, int dst, int world) { return src * world + dst; }
+
 }  // namespace
 
-MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
-                                int ppn, std::size_t bytes,
-                                const AllreduceSpec& spec,
-                                const MeasureOptions& opt) {
+MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
+                                 int nodes, int ppn, std::size_t bytes,
+                                 const coll::CollSpec& spec,
+                                 const MeasureOptions& opt) {
   const std::size_t esize = simmpi::dtype_size(opt.dt);
   DPML_CHECK_MSG(bytes % esize == 0,
                  "message size must be a multiple of the datatype size");
   const std::size_t count = bytes / esize;
   DPML_CHECK(opt.iterations >= 1 && opt.warmup >= 0);
+  const coll::CollDescriptor& desc =
+      coll::CollRegistry::instance().at(kind, spec.algo);
 
   simmpi::RunOptions ropt;
   ropt.with_data = opt.with_data;
@@ -60,29 +69,58 @@ MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
   simmpi::Machine machine(cfg, nodes, ppn, ropt);
 
   // Attach an in-network aggregation fabric when the design needs it (or
-  // when dpml_auto could route small messages through it).
+  // when dpml-auto could route small messages through it).
   std::optional<sharp::SharpFabric> fabric;
-  AllreduceSpec used = spec;
-  if ((needs_fabric(spec.algo) || spec.algo == Algorithm::dpml_auto) &&
+  coll::CollSpec used = spec;
+  if ((desc.caps.needs_fabric || spec.algo == "dpml-auto") &&
       cfg.has_sharp() && spec.fabric == nullptr) {
     fabric.emplace(machine);
     used.fabric = &*fabric;
   }
-  if (needs_fabric(used.algo)) {
+  if (desc.caps.needs_fabric) {
     DPML_CHECK_MSG(used.fabric != nullptr,
                    "SHArP design requested on a fabric-less cluster");
   }
 
   const int world = machine.world_size();
+  DPML_CHECK_MSG(opt.root >= 0 && opt.root < world, "measure root out of range");
+
+  // Data-mode buffers, shaped per collective kind. `bytes` is the per-rank
+  // payload; alltoall moves one `bytes` block per (src, dst) pair.
   std::vector<std::vector<std::byte>> sendbufs;
   std::vector<std::vector<std::byte>> recvbufs(
       static_cast<std::size_t>(world));
   if (opt.with_data) {
-    sendbufs.reserve(static_cast<std::size_t>(world));
+    sendbufs.resize(static_cast<std::size_t>(world));
     for (int w = 0; w < world; ++w) {
-      sendbufs.push_back(
-          simmpi::make_operand(opt.dt, count, w, opt.op, opt.seed));
-      recvbufs[static_cast<std::size_t>(w)].resize(bytes);
+      auto& sb = sendbufs[static_cast<std::size_t>(w)];
+      auto& rb = recvbufs[static_cast<std::size_t>(w)];
+      switch (kind) {
+        case CollKind::allreduce:
+        case CollKind::reduce:
+          sb = simmpi::make_operand(opt.dt, count, w, opt.op, opt.seed);
+          rb.resize(bytes);
+          break;
+        case CollKind::bcast:
+          // In-place payload buffer: the root starts with the operand, the
+          // others start zeroed and must end with a bit-exact copy.
+          rb.resize(bytes);
+          if (w == opt.root) {
+            rb = simmpi::make_operand(opt.dt, count, opt.root, opt.op,
+                                      opt.seed);
+          }
+          break;
+        case CollKind::alltoall:
+          sb.reserve(static_cast<std::size_t>(world) * bytes);
+          for (int dst = 0; dst < world; ++dst) {
+            auto block = simmpi::make_operand(
+                opt.dt, count, alltoall_block_id(w, dst, world), opt.op,
+                opt.seed);
+            sb.insert(sb.end(), block.begin(), block.end());
+          }
+          rb.resize(static_cast<std::size_t>(world) * bytes);
+          break;
+      }
     }
   }
 
@@ -93,7 +131,7 @@ MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
         opt.with_data ? simmpi::ConstBytes{sendbufs[w]} : simmpi::ConstBytes{};
     simmpi::MutBytes recv =
         opt.with_data ? simmpi::MutBytes{recvbufs[w]} : simmpi::MutBytes{};
-    return bench_rank(r, used, opt, count, send, recv, sh);
+    return bench_rank(kind, r, used, opt, count, send, recv, sh);
   });
 
   MeasureResult res;
@@ -112,16 +150,62 @@ MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
   res.events = machine.engine().events_processed();
 
   if (opt.with_data) {
-    const auto ref =
-        simmpi::reference_allreduce(opt.dt, count, world, opt.op, opt.seed);
-    for (int w = 0; w < world; ++w) {
-      if (recvbufs[static_cast<std::size_t>(w)] != ref) {
-        res.verified = false;
+    switch (kind) {
+      case CollKind::allreduce: {
+        const auto ref = simmpi::reference_allreduce(opt.dt, count, world,
+                                                     opt.op, opt.seed);
+        for (int w = 0; w < world; ++w) {
+          if (recvbufs[static_cast<std::size_t>(w)] != ref) {
+            res.verified = false;
+            break;
+          }
+        }
+        break;
+      }
+      case CollKind::reduce: {
+        const auto ref = simmpi::reference_allreduce(opt.dt, count, world,
+                                                     opt.op, opt.seed);
+        res.verified = recvbufs[static_cast<std::size_t>(opt.root)] == ref;
+        break;
+      }
+      case CollKind::bcast: {
+        const auto payload =
+            simmpi::make_operand(opt.dt, count, opt.root, opt.op, opt.seed);
+        for (int w = 0; w < world; ++w) {
+          if (recvbufs[static_cast<std::size_t>(w)] != payload) {
+            res.verified = false;
+            break;
+          }
+        }
+        break;
+      }
+      case CollKind::alltoall: {
+        for (int w = 0; w < world && res.verified; ++w) {
+          const auto& rb = recvbufs[static_cast<std::size_t>(w)];
+          for (int src = 0; src < world; ++src) {
+            const auto block = simmpi::make_operand(
+                opt.dt, count, alltoall_block_id(src, w, world), opt.op,
+                opt.seed);
+            if (std::memcmp(rb.data() + static_cast<std::size_t>(src) * bytes,
+                            block.data(), bytes) != 0) {
+              res.verified = false;
+              break;
+            }
+          }
+        }
         break;
       }
     }
   }
   return res;
+}
+
+MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
+                                int ppn, std::size_t bytes,
+                                const AllreduceSpec& spec,
+                                const MeasureOptions& opt) {
+  return measure_collective(CollKind::allreduce, cfg, nodes, ppn, bytes,
+                            to_generic(spec), opt);
 }
 
 }  // namespace dpml::core

@@ -1,9 +1,11 @@
 // Latency measurement harness (OSU-style, barrier-separated iterations).
 //
 // Builds a Machine for the requested (cluster, nodes, ppn), runs warmup +
-// measured iterations of one allreduce spec on every rank, and reports the
+// measured iterations of one collective spec on every rank, and reports the
 // per-iteration simulated latency. In data mode every rank's result is
-// verified bit-for-bit against the serial reference.
+// verified bit-for-bit against a serial reference for the collective's
+// semantics (allreduce/reduce: the reference reduction; bcast: the root's
+// payload; alltoall: the transposed block pattern).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +22,7 @@ struct MeasureOptions {
   std::uint64_t seed = 1;
   simmpi::Dtype dt = simmpi::Dtype::f32;   // paper: MPI_FLOAT
   simmpi::ReduceOp op = simmpi::ReduceOp::sum;  // paper: MPI_SUM
+  int root = 0;  // rooted kinds (reduce/bcast) only
 };
 
 struct MeasureResult {
@@ -30,6 +33,15 @@ struct MeasureResult {
   std::uint64_t events = 0;    // engine events processed (sanity/diagnostics)
 };
 
+// Measure any registered collective. `bytes` is the message size per rank;
+// for alltoall it is the per-destination block size (each rank moves
+// world_size * bytes in total).
+MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
+                                 int nodes, int ppn, std::size_t bytes,
+                                 const coll::CollSpec& spec,
+                                 const MeasureOptions& opt = {});
+
+// Compatibility shim over measure_collective(CollKind::allreduce, ...).
 MeasureResult measure_allreduce(const net::ClusterConfig& cfg, int nodes,
                                 int ppn, std::size_t bytes,
                                 const AllreduceSpec& spec,

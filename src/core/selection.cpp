@@ -10,7 +10,16 @@ namespace dpml::core {
 
 namespace {
 constexpr std::size_t kCatchAll = std::numeric_limits<std::size_t>::max();
+
+// Whether serialize() should persist leaders/pipeline_k for this spec:
+// exactly the algorithms whose descriptor declares a leader parameter.
+bool persists_params(CollKind kind, const std::string& algo) {
+  const coll::CollDescriptor* d =
+      coll::CollRegistry::instance().find(kind, algo);
+  return d != nullptr && d->caps.uses_leaders;
 }
+
+}  // namespace
 
 SelectionTable::SelectionTable(std::vector<Entry> entries)
     : entries_(std::move(entries)) {
@@ -19,41 +28,71 @@ SelectionTable::SelectionTable(std::vector<Entry> entries)
 
 void SelectionTable::validate() const {
   DPML_CHECK_MSG(!entries_.empty(), "selection table has no entries");
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    if (i + 1 == entries_.size()) {
-      DPML_CHECK_MSG(e.max_bytes == kCatchAll,
-                     "selection table must end with a catch-all entry");
-    } else {
-      DPML_CHECK_MSG(e.max_bytes != kCatchAll,
-                     "catch-all entry must be last");
-      DPML_CHECK_MSG(i == 0 || e.max_bytes > prev,
-                     "selection thresholds must be strictly ascending");
+  // Per collective kind: thresholds strictly ascending, catch-all present
+  // and last. Kinds may interleave freely in the entry list.
+  for (CollKind kind : coll::kAllCollKinds) {
+    const Entry* last = nullptr;
+    std::size_t prev = 0;
+    bool first = true;
+    for (const Entry& e : entries_) {
+      if (e.kind != kind) continue;
+      if (last != nullptr) {
+        DPML_CHECK_MSG(last->max_bytes != kCatchAll,
+                       "catch-all entry must be last");
+        DPML_CHECK_MSG(first || last->max_bytes > prev,
+                       "selection thresholds must be strictly ascending");
+        prev = last->max_bytes;
+        first = false;
+      }
+      last = &e;
     }
-    prev = e.max_bytes;
+    if (last != nullptr) {
+      DPML_CHECK_MSG(last->max_bytes == kCatchAll,
+                     "selection table must end with a catch-all entry");
+    }
   }
 }
 
-const AllreduceSpec& SelectionTable::select(std::size_t bytes) const {
-  DPML_CHECK_MSG(!entries_.empty(), "selecting from an empty table");
+bool SelectionTable::has_kind(CollKind kind) const {
   for (const Entry& e : entries_) {
-    if (bytes <= e.max_bytes) return e.spec;
+    if (e.kind == kind) return true;
   }
-  return entries_.back().spec;
+  return false;
+}
+
+const coll::CollSpec& SelectionTable::select(CollKind kind,
+                                             std::size_t bytes) const {
+  DPML_CHECK_MSG(!entries_.empty(), "selecting from an empty table");
+  const coll::CollSpec* catch_all = nullptr;
+  for (const Entry& e : entries_) {
+    if (e.kind != kind) continue;
+    if (bytes <= e.max_bytes) return e.spec;
+    catch_all = &e.spec;
+  }
+  DPML_CHECK_MSG(catch_all != nullptr,
+                 std::string("selection table has no entries for ") +
+                     coll::coll_kind_name(kind));
+  return *catch_all;
+}
+
+AllreduceSpec SelectionTable::select(std::size_t bytes) const {
+  return to_allreduce_spec(select(CollKind::allreduce, bytes));
 }
 
 std::string SelectionTable::serialize() const {
   std::ostringstream os;
-  os << "# dpml allreduce selection table\n";
+  os << "# dpml collective selection table\n";
   for (const Entry& e : entries_) {
+    if (e.kind != CollKind::allreduce) {
+      os << coll::coll_kind_name(e.kind) << " ";
+    }
     if (e.max_bytes == kCatchAll) {
       os << "*";
     } else {
       os << "<=" << e.max_bytes;
     }
-    os << "  " << algorithm_name(e.spec.algo);
-    if (e.spec.algo == Algorithm::dpml) {
+    os << "  " << e.spec.algo;
+    if (persists_params(e.kind, e.spec.algo)) {
       os << " " << e.spec.leaders << " " << e.spec.pipeline_k;
     }
     os << "\n";
@@ -72,6 +111,13 @@ SelectionTable SelectionTable::parse(const std::string& text) {
     std::string bound;
     if (!(ls >> bound)) continue;  // blank line
     Entry e;
+    // Optional leading collective kind; bare lines are allreduce entries
+    // (the legacy format).
+    if (coll::is_coll_kind_name(bound)) {
+      e.kind = coll::coll_kind_by_name(bound);
+      DPML_CHECK_MSG(static_cast<bool>(ls >> bound),
+                     "selection entry missing size bound: " + line);
+    }
     if (bound == "*") {
       e.max_bytes = kCatchAll;
     } else {
@@ -82,7 +128,9 @@ SelectionTable SelectionTable::parse(const std::string& text) {
     std::string algo;
     DPML_CHECK_MSG(static_cast<bool>(ls >> algo),
                    "selection entry missing algorithm: " + line);
-    e.spec.algo = algorithm_by_name(algo);
+    // Resolve through the registry: unknown names fail here, with the
+    // error listing every registered algorithm of the entry's kind.
+    e.spec.algo = coll::CollRegistry::instance().at(e.kind, algo).name;
     int leaders = 0;
     if (ls >> leaders) {
       e.spec.leaders = leaders;
@@ -94,15 +142,18 @@ SelectionTable SelectionTable::parse(const std::string& text) {
   return SelectionTable(std::move(entries));
 }
 
-SelectionTable SelectionTable::tune(const net::ClusterConfig& cfg, int nodes,
+SelectionTable SelectionTable::tune(CollKind kind,
+                                    const net::ClusterConfig& cfg, int nodes,
                                     int ppn,
                                     const std::vector<std::size_t>& probe_sizes,
                                     const MeasureOptions& opt) {
   DPML_CHECK_MSG(!probe_sizes.empty(), "no probe sizes");
   std::vector<Entry> entries;
   for (std::size_t i = 0; i < probe_sizes.size(); ++i) {
-    const auto best = tune_allreduce(cfg, nodes, ppn, probe_sizes[i], opt).best;
+    const auto best =
+        tune_collective(kind, cfg, nodes, ppn, probe_sizes[i], opt).best;
     Entry e;
+    e.kind = kind;
     e.max_bytes =
         i + 1 == probe_sizes.size() ? kCatchAll : probe_sizes[i];
     e.spec = best.spec;
@@ -124,20 +175,37 @@ SelectionTable SelectionTable::tune(const net::ClusterConfig& cfg, int nodes,
   return SelectionTable(std::move(merged));
 }
 
+SelectionTable SelectionTable::tune(const net::ClusterConfig& cfg, int nodes,
+                                    int ppn,
+                                    const std::vector<std::size_t>& probe_sizes,
+                                    const MeasureOptions& opt) {
+  return tune(CollKind::allreduce, cfg, nodes, ppn, probe_sizes, opt);
+}
+
+sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
+                                 const SelectionTable& table,
+                                 sharp::SharpFabric* fabric) {
+  coll::CollSpec spec = table.select(kind, args.bytes());
+  const coll::CollDescriptor& d =
+      coll::CollRegistry::instance().at(kind, spec.algo);
+  if (d.caps.needs_fabric || spec.algo == "dpml-auto") {
+    spec.fabric = fabric;
+  }
+  if (d.caps.needs_fabric && spec.fabric == nullptr &&
+      kind == CollKind::allreduce) {
+    // Graceful degradation on fabric-less platforms: fall back to the tuned
+    // host design family.
+    spec.algo = "dpml";
+    spec.leaders = 1;
+    spec.pipeline_k = 1;
+  }
+  return run_collective(kind, std::move(args), spec);
+}
+
 sim::CoTask<void> run_allreduce(coll::CollArgs args,
                                 const SelectionTable& table,
                                 sharp::SharpFabric* fabric) {
-  AllreduceSpec spec = table.select(args.bytes());
-  if (needs_fabric(spec.algo) || spec.algo == Algorithm::dpml_auto) {
-    spec.fabric = fabric;
-  }
-  if (needs_fabric(spec.algo) && spec.fabric == nullptr) {
-    // Graceful degradation on fabric-less platforms: fall back to the tuned
-    // host design family.
-    spec.algo = Algorithm::dpml;
-    spec.leaders = 1;
-  }
-  return run_allreduce(std::move(args), spec);
+  return run_collective(CollKind::allreduce, std::move(args), table, fabric);
 }
 
 }  // namespace dpml::core

@@ -7,6 +7,12 @@
 // fastest. The Figure 9/10 benches use it to produce the paper's "proposed"
 // line; it is also part of the public API so downstream users can tune for
 // their own simulated platforms.
+//
+// Candidates come from the collective registry: every descriptor of the
+// requested kind whose caps mark it tunable contributes, expanded through
+// its capability flags (uses_leaders -> leader sweep, supports_pipelining ->
+// pipelined variants, needs_fabric/max_tune_bytes -> fabric gating). The
+// allreduce entry points are kept as source-compatible shims.
 #pragma once
 
 #include <vector>
@@ -14,6 +20,40 @@
 #include "core/measure.hpp"
 
 namespace dpml::core {
+
+// ---- Generic (any collective kind) ----
+
+struct GenericTunedEntry {
+  coll::CollSpec spec;
+  double avg_us = 0.0;
+};
+
+struct GenericTuneResult {
+  GenericTunedEntry best;
+  std::vector<GenericTunedEntry> all;  // every candidate, fastest first
+};
+
+// Candidate sweep for `kind` built from the registry's tunable descriptors.
+// For allreduce this reproduces the paper's sweep exactly: DPML with
+// leaders in {1,2,4,8,16} (clamped to ppn, deduplicated), pipelined
+// variants when the per-leader partition is still >= 64 KiB, and both
+// SHArP designs when a fabric exists and the message fits their tuning
+// range.
+std::vector<coll::CollSpec> registry_candidates(CollKind kind, int ppn,
+                                                bool has_sharp,
+                                                std::size_t bytes);
+
+GenericTuneResult tune_collective(CollKind kind, const net::ClusterConfig& cfg,
+                                  int nodes, int ppn, std::size_t bytes,
+                                  const std::vector<coll::CollSpec>& candidates,
+                                  const MeasureOptions& opt = {});
+
+// Convenience: registry candidate set.
+GenericTuneResult tune_collective(CollKind kind, const net::ClusterConfig& cfg,
+                                  int nodes, int ppn, std::size_t bytes,
+                                  const MeasureOptions& opt = {});
+
+// ---- Allreduce compatibility shims ----
 
 struct TunedEntry {
   AllreduceSpec spec;
@@ -25,9 +65,7 @@ struct TuneResult {
   std::vector<TunedEntry> all;  // every candidate, fastest first
 };
 
-// Candidate set mirroring the paper's sweep: DPML with leaders in
-// {1,2,4,8,16} (clamped to ppn, deduplicated), pipelined variants of the
-// largest leader count, and both SHArP designs when a fabric exists.
+// Candidate set mirroring the paper's sweep (see registry_candidates).
 std::vector<AllreduceSpec> default_candidates(int ppn, bool has_sharp,
                                               std::size_t bytes);
 

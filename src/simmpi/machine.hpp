@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -251,6 +253,19 @@ class Machine {
   // Aggregate communication counters for the run so far.
   const CommStats& comm_stats() const { return stats_; }
 
+  // Per-collective attribution keyed "<kind>/<label>" (e.g.
+  // "allreduce/dpml(l=8)"). Populated by core::run_collective while tracing
+  // is enabled; empty otherwise.
+  const std::map<std::string, CollectiveStats>& collective_stats() const {
+    return coll_stats_;
+  }
+  void note_collective(const std::string& key, sim::Time elapsed) {
+    if (!tracer_) return;
+    CollectiveStats& cs = coll_stats_[key];
+    cs.ops += 1;
+    cs.rank_time += elapsed;
+  }
+
   // Optional tracing: enable before run(); spans accumulate in tracer().
   void enable_trace() { if (!tracer_) tracer_ = std::make_unique<Tracer>(); }
   bool tracing() const { return tracer_ != nullptr; }
@@ -283,6 +298,7 @@ class Machine {
   std::unordered_map<std::string, Comm> split_cache_;
   Comm null_comm_;
   CommStats stats_;
+  std::map<std::string, CollectiveStats> coll_stats_;
   std::unique_ptr<Tracer> tracer_;
 
   // Per-leaf fat-tree uplink/downlink pools (empty when the core is

@@ -11,6 +11,15 @@
 
 namespace dpml::simmpi {
 
+// Per-(collective kind, algorithm label) attribution, populated by the
+// core dispatcher while tracing is enabled. rank_time sums each
+// participating rank's elapsed simulated time (ticks), so dividing by ops
+// gives the average per-rank latency of that collective configuration.
+struct CollectiveStats {
+  std::uint64_t ops = 0;        // rank-level participations
+  std::int64_t rank_time = 0;   // summed per-rank elapsed ticks
+};
+
 struct CommStats {
   // Inter-node traffic.
   std::uint64_t net_messages = 0;     // payload messages handed to a NIC

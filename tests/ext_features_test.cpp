@@ -114,14 +114,14 @@ TEST(Stats, NicUtilizationHigherUnderFlatAlgorithms) {
 TEST(Selection, SelectRespectsThresholds) {
   core::SelectionTable::Entry small;
   small.max_bytes = 1024;
-  small.spec.algo = core::Algorithm::recursive_doubling;
+  small.spec.algo = "rd";
   core::SelectionTable::Entry mid;
   mid.max_bytes = 65536;
-  mid.spec.algo = core::Algorithm::dpml;
+  mid.spec.algo = "dpml";
   mid.spec.leaders = 4;
   core::SelectionTable::Entry rest;
   rest.max_bytes = std::numeric_limits<std::size_t>::max();
-  rest.spec.algo = core::Algorithm::dpml;
+  rest.spec.algo = "dpml";
   rest.spec.leaders = 16;
   core::SelectionTable t({small, mid, rest});
   EXPECT_EQ(t.select(4).algo, core::Algorithm::recursive_doubling);

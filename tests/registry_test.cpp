@@ -1,0 +1,594 @@
+// Collective registry: descriptor listing, dispatch-time validation, exact
+// equivalence of the registry path with direct algorithm invocation, the
+// generic tuner, op-qualified selection tables, and data-mode verification
+// across all four collective kinds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/bcast.hpp"
+#include "coll/reduce.hpp"
+#include "coll/registry.hpp"
+#include "core/selection.hpp"
+#include "net/cluster.hpp"
+#include "simmpi/machine.hpp"
+
+namespace dpml {
+namespace {
+
+using coll::CollKind;
+using coll::CollRegistry;
+using coll::CollSpec;
+using simmpi::Machine;
+using simmpi::Rank;
+
+bool has_name(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+// ---------------------------------------------------------------------------
+// Registry contents
+
+TEST(Registry, ListsEveryEnumEraAllreduceAlgorithm) {
+  const auto names = CollRegistry::instance().names(CollKind::allreduce);
+  for (const char* n :
+       {"rd", "rsa", "ring", "binomial", "gather-bcast", "single-leader",
+        "dpml", "sharp-node-leader", "sharp-socket-leader", "mvapich2",
+        "intelmpi", "dpml-auto"}) {
+    EXPECT_TRUE(has_name(names, n)) << "missing allreduce algorithm " << n;
+  }
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Registry, ListsOtherCollectiveKinds) {
+  const auto reduce = CollRegistry::instance().names(CollKind::reduce);
+  for (const char* n :
+       {"binomial", "rsa-gather", "single-leader", "dpml", "auto"}) {
+    EXPECT_TRUE(has_name(reduce, n)) << "missing reduce algorithm " << n;
+  }
+  const auto bcast = CollRegistry::instance().names(CollKind::bcast);
+  for (const char* n :
+       {"binomial", "scatter-allgather", "single-leader", "auto"}) {
+    EXPECT_TRUE(has_name(bcast, n)) << "missing bcast algorithm " << n;
+  }
+  const auto alltoall = CollRegistry::instance().names(CollKind::alltoall);
+  for (const char* n : {"bruck", "pairwise", "auto"}) {
+    EXPECT_TRUE(has_name(alltoall, n)) << "missing alltoall algorithm " << n;
+  }
+}
+
+TEST(Registry, CapabilityFlagsMatchAlgorithmProperties) {
+  const auto& reg = CollRegistry::instance();
+  EXPECT_TRUE(reg.at(CollKind::allreduce, "dpml").caps.uses_leaders);
+  EXPECT_TRUE(reg.at(CollKind::allreduce, "dpml").caps.supports_pipelining);
+  EXPECT_TRUE(reg.at(CollKind::allreduce, "sharp-node-leader").caps.needs_fabric);
+  EXPECT_EQ(reg.at(CollKind::allreduce, "sharp-node-leader").caps.max_tune_bytes,
+            4096u);
+  EXPECT_FALSE(reg.at(CollKind::allreduce, "rd").caps.needs_fabric);
+  EXPECT_FALSE(reg.at(CollKind::allreduce, "rd").caps.tunable);
+  EXPECT_TRUE(reg.at(CollKind::reduce, "dpml").caps.uses_leaders);
+  // reduce_dpml has no pipelined inter-node phase.
+  EXPECT_FALSE(reg.at(CollKind::reduce, "dpml").caps.supports_pipelining);
+}
+
+TEST(Registry, UnknownNameErrorListsRegisteredNames) {
+  try {
+    CollRegistry::instance().at(CollKind::allreduce, "bogus");
+    FAIL() << "expected InvariantError";
+  } catch (const util::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("allreduce"), std::string::npos);
+    EXPECT_NE(what.find("dpml"), std::string::npos);
+    EXPECT_NE(what.find("rd"), std::string::npos);
+  }
+}
+
+TEST(Registry, AlgorithmByNameErrorListsValidNames) {
+  try {
+    core::algorithm_by_name("not-an-algo");
+    FAIL() << "expected InvariantError";
+  } catch (const util::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not-an-algo"), std::string::npos);
+    EXPECT_NE(what.find("dpml-auto"), std::string::npos);
+    EXPECT_NE(what.find("sharp-socket-leader"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsDuplicateRegistration) {
+  coll::CollDescriptor d;
+  d.name = "dpml";  // already registered for allreduce
+  d.kind = CollKind::allreduce;
+  d.make = [](coll::CollArgs, const CollSpec&) { return sim::CoTask<void>{}; };
+  EXPECT_THROW(CollRegistry::instance().add(d), util::InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: the registry path must charge exactly the same simulated
+// time as invoking the src/coll coroutine directly.
+
+sim::Time direct_allreduce_time(core::Algorithm algo, int leaders, int k) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  Machine m(net::test_cluster(4), 4, 4, opt);
+  m.run([&](Rank& r) -> sim::CoTask<void> {
+    coll::CollArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.count = 4096;
+    a.inplace = true;
+    switch (algo) {
+      case core::Algorithm::recursive_doubling:
+        co_await coll::allreduce_recursive_doubling(a);
+        break;
+      case core::Algorithm::reduce_scatter_allgather:
+        co_await coll::allreduce_reduce_scatter_allgather(a);
+        break;
+      case core::Algorithm::ring:
+        co_await coll::allreduce_ring(a);
+        break;
+      case core::Algorithm::binomial:
+        co_await coll::allreduce_binomial(a);
+        break;
+      case core::Algorithm::gather_bcast:
+        co_await coll::allreduce_gather_bcast(a);
+        break;
+      case core::Algorithm::single_leader:
+        co_await coll::allreduce_single_leader(a, coll::InterAlgo::automatic);
+        break;
+      case core::Algorithm::dpml: {
+        coll::DpmlParams p;
+        p.leaders = leaders;
+        p.pipeline_k = k;
+        co_await coll::allreduce_dpml(a, p);
+        break;
+      }
+      case core::Algorithm::mvapich2:
+        co_await coll::allreduce_mvapich2(a);
+        break;
+      case core::Algorithm::intelmpi:
+        co_await coll::allreduce_intelmpi(a);
+        break;
+      default:
+        break;
+    }
+  });
+  return m.now();
+}
+
+sim::Time registry_allreduce_time(const std::string& name, int leaders,
+                                  int k) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  Machine m(net::test_cluster(4), 4, 4, opt);
+  CollSpec spec;
+  spec.algo = name;
+  spec.leaders = leaders;
+  spec.pipeline_k = k;
+  m.run([&](Rank& r) -> sim::CoTask<void> {
+    coll::CollArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.count = 4096;
+    a.inplace = true;
+    co_await core::run_collective(CollKind::allreduce, a, spec);
+  });
+  return m.now();
+}
+
+TEST(Equivalence, RegistryPathMatchesDirectInvocationExactly) {
+  struct Case {
+    core::Algorithm algo;
+    const char* name;
+    int leaders;
+    int k;
+  };
+  const Case cases[] = {
+      {core::Algorithm::recursive_doubling, "rd", 1, 1},
+      {core::Algorithm::reduce_scatter_allgather, "rsa", 1, 1},
+      {core::Algorithm::ring, "ring", 1, 1},
+      {core::Algorithm::binomial, "binomial", 1, 1},
+      {core::Algorithm::gather_bcast, "gather-bcast", 1, 1},
+      {core::Algorithm::single_leader, "single-leader", 1, 1},
+      {core::Algorithm::dpml, "dpml", 2, 1},
+      {core::Algorithm::dpml, "dpml", 4, 2},
+      {core::Algorithm::mvapich2, "mvapich2", 1, 1},
+      {core::Algorithm::intelmpi, "intelmpi", 1, 1},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(direct_allreduce_time(c.algo, c.leaders, c.k),
+              registry_allreduce_time(c.name, c.leaders, c.k))
+        << c.name << " l=" << c.leaders << " k=" << c.k;
+  }
+}
+
+TEST(Equivalence, RunAllreduceShimMatchesGenericEntry) {
+  for (core::Algorithm algo :
+       {core::Algorithm::recursive_doubling, core::Algorithm::dpml,
+        core::Algorithm::mvapich2, core::Algorithm::dpml_auto}) {
+    auto run = [&](bool generic) {
+      simmpi::RunOptions opt;
+      opt.with_data = false;
+      Machine m(net::test_cluster(4), 4, 4, opt);
+      core::AllreduceSpec spec;
+      spec.algo = algo;
+      spec.leaders = 2;
+      m.run([&](Rank& r) -> sim::CoTask<void> {
+        coll::CollArgs a;
+        a.rank = &r;
+        a.comm = &m.world();
+        a.count = 1024;
+        a.inplace = true;
+        if (generic) {
+          co_await core::run_collective(core::CollKind::allreduce, a,
+                                        core::to_generic(spec));
+        } else {
+          co_await core::run_allreduce(a, spec);
+        }
+      });
+      return m.now();
+    };
+    EXPECT_EQ(run(false), run(true)) << core::algorithm_name(algo);
+  }
+}
+
+TEST(Equivalence, ReduceBcastAlltoallMatchDirectInvocation) {
+  auto generic_time = [](CollKind kind, const char* name) {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 4, opt);
+    CollSpec spec;
+    spec.algo = name;
+    spec.leaders = 2;
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::CollArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.count = 2048;
+      a.inplace = true;
+      co_await core::run_collective(kind, a, spec);
+    });
+    return m.now();
+  };
+
+  {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 4, opt);
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::ReduceArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.count = 2048;
+      a.inplace = true;
+      coll::DpmlParams p;
+      p.leaders = 2;
+      co_await coll::reduce(a, coll::ReduceAlgo::dpml, p);
+    });
+    EXPECT_EQ(m.now(), generic_time(CollKind::reduce, "dpml"));
+  }
+  {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 4, opt);
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::BcastArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.bytes = 2048 * 4;
+      co_await coll::bcast(a, coll::BcastAlgo::scatter_allgather);
+    });
+    EXPECT_EQ(m.now(), generic_time(CollKind::bcast, "scatter-allgather"));
+  }
+  {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 4, opt);
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::AlltoallArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.block_bytes = 2048 * 4;
+      co_await coll::alltoall(a, coll::AlltoallAlgo::pairwise);
+    });
+    EXPECT_EQ(m.now(), generic_time(CollKind::alltoall, "pairwise"));
+  }
+}
+
+TEST(Equivalence, TracingAttributionDoesNotChangeSimulatedTime) {
+  auto run = [](bool trace) {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 4, opt);
+    if (trace) m.enable_trace();
+    CollSpec spec;
+    spec.algo = "dpml";
+    spec.leaders = 2;
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::CollArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.count = 4096;
+      a.inplace = true;
+      co_await core::run_collective(CollKind::allreduce, a, spec);
+    });
+    if (trace) {
+      // Every rank's participation is attributed with kind + label.
+      const auto& stats = m.collective_stats();
+      auto it = stats.find("allreduce/dpml(l=2)");
+      EXPECT_NE(it, stats.end());
+      if (it != stats.end()) {
+        EXPECT_EQ(it->second.ops, 16u);
+        EXPECT_GT(it->second.rank_time, 0);
+      }
+      bool found_span = false;
+      for (const auto& s : m.tracer().spans()) {
+        if (s.category == "allreduce" && s.name == "dpml(l=2)") {
+          found_span = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found_span);
+    }
+    return m.now();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-entry validation
+
+TEST(Validation, RejectsBadSpecsBeforeTheCoroutineStarts) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  Machine m(net::test_cluster(2), 2, 2, opt);
+  coll::CollArgs a;
+  a.rank = &m.rank(0);
+  a.comm = &m.world();
+  a.count = 16;
+  a.inplace = true;
+
+  CollSpec bad_leaders;
+  bad_leaders.algo = "dpml";
+  bad_leaders.leaders = 0;
+  EXPECT_THROW(core::run_collective(CollKind::allreduce, a, bad_leaders),
+               util::InvariantError);
+
+  CollSpec bad_k;
+  bad_k.algo = "dpml";
+  bad_k.pipeline_k = 0;
+  EXPECT_THROW(core::run_collective(CollKind::allreduce, a, bad_k),
+               util::InvariantError);
+
+  CollSpec no_fabric;
+  no_fabric.algo = "sharp-node-leader";
+  EXPECT_THROW(core::run_collective(CollKind::allreduce, a, no_fabric),
+               util::InvariantError);
+
+  CollSpec unknown;
+  unknown.algo = "definitely-not-registered";
+  EXPECT_THROW(core::run_collective(CollKind::allreduce, a, unknown),
+               util::InvariantError);
+
+  coll::CollArgs bad_root = a;
+  bad_root.root = 99;
+  CollSpec reduce_spec;
+  reduce_spec.algo = "binomial";
+  EXPECT_THROW(core::run_collective(CollKind::reduce, bad_root, reduce_spec),
+               util::InvariantError);
+}
+
+TEST(Validation, LeadersClampToPpn) {
+  auto run = [](int leaders) {
+    simmpi::RunOptions opt;
+    opt.with_data = false;
+    Machine m(net::test_cluster(4), 4, 2, opt);
+    CollSpec spec;
+    spec.algo = "dpml";
+    spec.leaders = leaders;
+    m.run([&](Rank& r) -> sim::CoTask<void> {
+      coll::CollArgs a;
+      a.rank = &r;
+      a.comm = &m.world();
+      a.count = 1024;
+      a.inplace = true;
+      co_await core::run_collective(CollKind::allreduce, a, spec);
+    });
+    return m.now();
+  };
+  // leaders=16 on ppn=2 clamps (with a warning) to the leaders=2 schedule.
+  EXPECT_EQ(run(16), run(2));
+}
+
+// ---------------------------------------------------------------------------
+// Selection tables: legacy and op-qualified entries
+
+TEST(SelectionRegistry, LegacyAllreduceTablesParseUnchanged) {
+  const std::string legacy =
+      "# tuned on cluster B\n"
+      "<=2048   sharp-socket-leader\n"
+      "<=8192   dpml 4\n"
+      "<=65536  dpml 8\n"
+      "*        dpml 16 4\n";
+  const auto t = core::SelectionTable::parse(legacy);
+  ASSERT_EQ(t.entries().size(), 4u);
+  for (const auto& e : t.entries()) {
+    EXPECT_EQ(e.kind, CollKind::allreduce);
+  }
+  EXPECT_EQ(t.select(100).algo, core::Algorithm::sharp_socket_leader);
+  EXPECT_EQ(t.select(5000).leaders, 4);
+  EXPECT_EQ(t.select(1 << 20).pipeline_k, 4);
+}
+
+TEST(SelectionRegistry, OpQualifiedTablesRoundTrip) {
+  const std::string text =
+      "<=8192   dpml 4 1\n"
+      "*        dpml 16 4\n"
+      "reduce <=65536 binomial\n"
+      "reduce *       dpml 8 1\n"
+      "bcast  <=8192  binomial\n"
+      "bcast  *       scatter-allgather\n"
+      "alltoall *     pairwise\n";
+  const auto t = core::SelectionTable::parse(text);
+  ASSERT_EQ(t.entries().size(), 7u);
+  EXPECT_TRUE(t.has_kind(CollKind::reduce));
+  EXPECT_TRUE(t.has_kind(CollKind::alltoall));
+  EXPECT_EQ(t.select(CollKind::reduce, 1024).algo, "binomial");
+  EXPECT_EQ(t.select(CollKind::reduce, 1 << 20).algo, "dpml");
+  EXPECT_EQ(t.select(CollKind::reduce, 1 << 20).leaders, 8);
+  EXPECT_EQ(t.select(CollKind::bcast, 1 << 20).algo, "scatter-allgather");
+  EXPECT_EQ(t.select(CollKind::alltoall, 64).algo, "pairwise");
+  EXPECT_EQ(t.select(4096).algo, core::Algorithm::dpml);
+
+  // Serialize -> parse -> serialize is a fixed point.
+  const std::string once = t.serialize();
+  const auto t2 = core::SelectionTable::parse(once);
+  EXPECT_EQ(t2.serialize(), once);
+  ASSERT_EQ(t2.entries().size(), t.entries().size());
+  EXPECT_EQ(t2.select(CollKind::reduce, 1 << 20).leaders, 8);
+}
+
+TEST(SelectionRegistry, PerKindValidation) {
+  // Missing catch-all for the reduce entries.
+  EXPECT_THROW(core::SelectionTable::parse("* dpml 4 1\nreduce <=100 binomial\n"),
+               util::InvariantError);
+  // Descending thresholds within a kind.
+  EXPECT_THROW(core::SelectionTable::parse(
+                   "reduce <=200 binomial\nreduce <=100 binomial\n"
+                   "reduce * dpml 8 1\n* dpml 4 1\n"),
+               util::InvariantError);
+  // Unknown algorithm for the qualified kind, even if valid for another.
+  EXPECT_THROW(core::SelectionTable::parse("bcast * rd\n"),
+               util::InvariantError);
+  // Selecting a kind with no entries.
+  const auto t = core::SelectionTable::parse("* dpml 4 1\n");
+  EXPECT_THROW(t.select(CollKind::bcast, 64), util::InvariantError);
+}
+
+TEST(SelectionRegistry, TableDispatchRunsNonAllreduceKinds) {
+  const auto t = core::SelectionTable::parse(
+      "* dpml 2 1\nbcast <=1024 binomial\nbcast * scatter-allgather\n");
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  Machine m(net::test_cluster(2), 2, 4, opt);
+  m.run([&](Rank& r) -> sim::CoTask<void> {
+    coll::CollArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.count = 4096;  // 16KB -> scatter-allgather entry
+    a.inplace = true;
+    co_await core::run_collective(CollKind::bcast, a, t);
+  });
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Generic tuner
+
+TEST(TunerRegistry, RegistryCandidatesCoverReduceDesigns) {
+  const auto cands =
+      core::registry_candidates(CollKind::reduce, 4, false, 256 * 1024);
+  bool has_binomial = false, has_rsa = false, has_single = false;
+  int dpml_variants = 0;
+  for (const auto& c : cands) {
+    if (c.algo == "binomial") has_binomial = true;
+    if (c.algo == "rsa-gather") has_rsa = true;
+    if (c.algo == "single-leader") has_single = true;
+    if (c.algo == "dpml") ++dpml_variants;
+  }
+  EXPECT_TRUE(has_binomial);
+  EXPECT_TRUE(has_rsa);
+  EXPECT_TRUE(has_single);
+  // Leader sweep {1,2,4,8,16} clamped to ppn=4 -> {1,2,4}; reduce-dpml has
+  // no pipelined variants.
+  EXPECT_EQ(dpml_variants, 3);
+}
+
+TEST(TunerRegistry, AllreduceCandidatesMatchLegacyDefaultCandidates) {
+  for (std::size_t bytes : {512ul, 512ul * 1024ul}) {
+    const auto legacy = core::default_candidates(28, true, bytes);
+    const auto generic =
+        core::registry_candidates(CollKind::allreduce, 28, true, bytes);
+    ASSERT_EQ(legacy.size(), generic.size()) << bytes;
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(core::algorithm_name(legacy[i].algo), generic[i].algo);
+      EXPECT_EQ(legacy[i].leaders, generic[i].leaders);
+      EXPECT_EQ(legacy[i].pipeline_k, generic[i].pipeline_k);
+    }
+  }
+}
+
+TEST(TunerRegistry, TuneCollectivePicksAReduceWinner) {
+  core::MeasureOptions opt;
+  opt.iterations = 1;
+  opt.warmup = 1;
+  const auto r = core::tune_collective(CollKind::reduce, net::test_cluster(2),
+                                       2, 2, 8192, opt);
+  ASSERT_FALSE(r.all.empty());
+  EXPECT_EQ(r.best.avg_us, r.all.front().avg_us);
+  for (std::size_t i = 1; i < r.all.size(); ++i) {
+    EXPECT_LE(r.all[i - 1].avg_us, r.all[i].avg_us);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data-mode verification across kinds
+
+TEST(DataMode, AllKindsVerifyBitExact) {
+  core::MeasureOptions opt;
+  opt.with_data = true;
+  opt.iterations = 1;
+  opt.warmup = 1;
+  const auto cfg = net::test_cluster(4);
+  struct Case {
+    CollKind kind;
+    const char* algo;
+  };
+  const Case cases[] = {
+      {CollKind::allreduce, "dpml"},
+      {CollKind::allreduce, "ring"},
+      {CollKind::reduce, "dpml"},
+      {CollKind::reduce, "rsa-gather"},
+      {CollKind::bcast, "binomial"},
+      {CollKind::bcast, "scatter-allgather"},
+      {CollKind::alltoall, "bruck"},
+      {CollKind::alltoall, "pairwise"},
+  };
+  for (const Case& c : cases) {
+    CollSpec spec;
+    spec.algo = c.algo;
+    spec.leaders = 2;
+    const auto r =
+        core::measure_collective(c.kind, cfg, 4, 4, 4096, spec, opt);
+    EXPECT_TRUE(r.verified)
+        << coll::coll_kind_name(c.kind) << "/" << c.algo;
+  }
+}
+
+TEST(DataMode, RootedKindsRespectNonZeroRoot) {
+  core::MeasureOptions opt;
+  opt.with_data = true;
+  opt.iterations = 1;
+  opt.warmup = 0;
+  opt.root = 3;
+  const auto cfg = net::test_cluster(2);
+  for (const char* algo : {"binomial", "rsa-gather"}) {
+    CollSpec spec;
+    spec.algo = algo;
+    const auto r =
+        core::measure_collective(CollKind::reduce, cfg, 2, 4, 1024, spec, opt);
+    EXPECT_TRUE(r.verified) << "reduce/" << algo;
+  }
+  CollSpec bspec;
+  bspec.algo = "binomial";
+  const auto rb =
+      core::measure_collective(CollKind::bcast, cfg, 2, 4, 1024, bspec, opt);
+  EXPECT_TRUE(rb.verified);
+}
+
+}  // namespace
+}  // namespace dpml

@@ -16,6 +16,7 @@
 //   dpmlsim tune --cluster A --nodes 8 --ppn 28
 //   dpmlsim throughput --cluster C --pairs 8
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <iostream>
@@ -41,10 +42,10 @@ int usage() {
   std::cout <<
       "usage: dpmlsim <latency|sweep|tune|throughput|pingpong|fit|hpcg|miniamr|stencil|dl|replay|verify> "
       "[--cluster X] [--nodes N] [--ppn P] ...\n"
-      "  latency:    --algo NAME --leaders L --pipeline K --sizes LO:HI[:F] "
-      "--data\n"
+      "  latency:    --collective KIND --algo NAME --leaders L --pipeline K "
+      "--sizes LO:HI[:F] --data\n"
       "  sweep:      --sizes LO:HI[:F]\n"
-      "  tune:       --sizes LO:HI[:F]\n"
+      "  tune:       --collective KIND --sizes LO:HI[:F]\n"
       "  throughput: --pairs N --sizes LO:HI[:F] --intra\n"
       "  fit:        (no extra flags)\n"
       "  hpcg:       --iterations N --algo NAME\n"
@@ -52,9 +53,49 @@ int usage() {
       "  stencil:    --sweeps N --check-every K --algo NAME\n"
       "  dl:         --steps N --buckets B --bucket BYTES --overlap BOOL\n"
       "  replay:     --trace FILE --reps N --algo NAME\n"
-      "  verify:     --nodes N --ppn P  (data-mode self-test)\n"
-      "common:       --cluster A|B|C|D|test --nodes N --ppn P --rails R\n";
+      "  verify:     --nodes N --ppn P  (data-mode self-test, all kinds)\n"
+      "common:       --cluster A|B|C|D|test --nodes N --ppn P --rails R\n"
+      "              --collective allreduce|reduce|bcast|alltoall\n"
+      "              --list-algorithms  (print the collective registry)\n";
   return 2;
+}
+
+// --collective KIND (default allreduce).
+core::CollKind collective_kind(const util::Args& args) {
+  return coll::coll_kind_by_name(args.get("collective", "allreduce"));
+}
+
+int cmd_list_algorithms() {
+  util::Table t({"collective", "algorithm", "capabilities"});
+  for (core::CollKind kind : coll::kAllCollKinds) {
+    for (const coll::CollDescriptor* d :
+         coll::CollRegistry::instance().list(kind)) {
+      std::string caps;
+      auto flag = [&caps](const char* name) {
+        if (!caps.empty()) caps += ",";
+        caps += name;
+      };
+      if (d->caps.needs_fabric) flag("needs-fabric");
+      if (d->caps.uses_leaders) flag("leaders");
+      if (d->caps.supports_pipelining) flag("pipelining");
+      if (d->caps.world_only) flag("world-only");
+      if (d->caps.tunable) flag("tunable");
+      if (d->caps.min_comm_size > 1) {
+        flag(("min-comm=" + std::to_string(d->caps.min_comm_size)).c_str());
+      }
+      if (d->caps.max_tune_bytes !=
+          std::numeric_limits<std::size_t>::max()) {
+        flag(("tune<=" + std::to_string(d->caps.max_tune_bytes)).c_str());
+      }
+      if (caps.empty()) caps = "-";
+      t.row()
+          .cell(std::string(coll::coll_kind_name(kind)))
+          .cell(d->name)
+          .cell(caps);
+    }
+  }
+  t.print(std::cout);
+  return 0;
 }
 
 core::MeasureOptions measure_opts(const util::Args& args) {
@@ -67,10 +108,14 @@ core::MeasureOptions measure_opts(const util::Args& args) {
 
 int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
                 int nodes, int ppn) {
-  core::AllreduceSpec spec;
-  spec.algo = core::algorithm_by_name(args.get("algo", "dpml"));
+  const core::CollKind kind = collective_kind(args);
+  core::CollSpec spec;
+  spec.algo =
+      args.get("algo", kind == core::CollKind::allreduce ? "dpml" : "auto");
   spec.leaders = static_cast<int>(args.get_int("leaders", 4));
   spec.pipeline_k = static_cast<int>(args.get_int("pipeline", 1));
+  // Fail fast on unknown names (the error lists the registered ones).
+  coll::CollRegistry::instance().at(kind, spec.algo);
   // --table FILE: dispatch through a tuned selection table instead.
   std::optional<core::SelectionTable> table;
   const std::string table_path = args.get("table");
@@ -87,24 +132,27 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
   util::Table t({"msg size", "design", "latency (us)", "verified"});
   for (std::size_t bytes : sizes) {
-    const core::AllreduceSpec used = table ? table->select(bytes) : spec;
-    const auto r =
-        core::measure_allreduce(cfg, nodes, ppn, bytes, used, measure_opts(args));
+    const core::CollSpec used = table ? table->select(kind, bytes) : spec;
+    const auto r = core::measure_collective(kind, cfg, nodes, ppn, bytes, used,
+                                            measure_opts(args));
     t.row()
         .cell(util::format_bytes(bytes))
-        .cell(used.label())
+        .cell(used.label(kind))
         .cell(r.avg_us, 2)
         .cell(std::string(r.verified ? "yes" : "NO"));
   }
-  std::cout << (table ? "table-driven" : spec.label()) << " on cluster "
-            << cfg.name << ", " << nodes << "x" << ppn << "\n";
+  std::cout << coll::coll_kind_name(kind) << " "
+            << (table ? std::string("table-driven") : spec.label(kind))
+            << " on cluster " << cfg.name << ", " << nodes << "x" << ppn
+            << "\n";
   t.print(std::cout);
   return 0;
 }
 
 int cmd_verify(const util::Args& args, const net::ClusterConfig& cfg) {
-  // Self-test: run every algorithm in data mode on a small shape and check
-  // results bit-for-bit against the serial reference.
+  // Self-test: run every registered algorithm of every collective kind in
+  // data mode on a small shape and check results bit-for-bit against the
+  // serial reference for that kind's semantics.
   const int nodes = static_cast<int>(args.get_int("nodes", 4));
   const int ppn = std::min(static_cast<int>(args.get_int("ppn", 4)),
                            cfg.max_ppn());
@@ -112,24 +160,23 @@ int cmd_verify(const util::Args& args, const net::ClusterConfig& cfg) {
   opt.with_data = true;
   opt.iterations = 2;
   opt.warmup = 1;
-  util::Table t({"algorithm", "256B", "17KB"});
+  util::Table t({"collective", "algorithm", "256B", "17KB"});
   bool all_ok = true;
-  for (core::Algorithm algo :
-       {core::Algorithm::recursive_doubling,
-        core::Algorithm::reduce_scatter_allgather, core::Algorithm::ring,
-        core::Algorithm::binomial, core::Algorithm::gather_bcast,
-        core::Algorithm::single_leader, core::Algorithm::dpml,
-        core::Algorithm::sharp_node_leader,
-        core::Algorithm::sharp_socket_leader, core::Algorithm::mvapich2,
-        core::Algorithm::intelmpi, core::Algorithm::dpml_auto}) {
-    if (core::needs_fabric(algo) && !cfg.has_sharp()) continue;
-    core::AllreduceSpec spec;
-    spec.algo = algo;
-    t.row().cell(std::string(core::algorithm_name(algo)));
-    for (std::size_t bytes : {256ul, 17408ul}) {
-      const auto r = core::measure_allreduce(cfg, nodes, ppn, bytes, spec, opt);
-      all_ok &= r.verified;
-      t.cell(std::string(r.verified ? "ok" : "FAIL"));
+  for (core::CollKind kind : coll::kAllCollKinds) {
+    for (const coll::CollDescriptor* d :
+         coll::CollRegistry::instance().list(kind)) {
+      if (d->caps.needs_fabric && !cfg.has_sharp()) continue;
+      core::CollSpec spec;
+      spec.algo = d->name;
+      t.row()
+          .cell(std::string(coll::coll_kind_name(kind)))
+          .cell(d->name);
+      for (std::size_t bytes : {256ul, 17408ul}) {
+        const auto r =
+            core::measure_collective(kind, cfg, nodes, ppn, bytes, spec, opt);
+        all_ok &= r.verified;
+        t.cell(std::string(r.verified ? "ok" : "FAIL"));
+      }
     }
   }
   t.print(std::cout);
@@ -165,8 +212,8 @@ int cmd_sweep(const util::Args& args, const net::ClusterConfig& cfg,
 int cmd_tune(const util::Args& args, const net::ClusterConfig& cfg, int nodes,
              int ppn) {
   const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
-  const auto table =
-      core::SelectionTable::tune(cfg, nodes, ppn, sizes, measure_opts(args));
+  const auto table = core::SelectionTable::tune(
+      collective_kind(args), cfg, nodes, ppn, sizes, measure_opts(args));
   const std::string out = args.get("out");
   if (!out.empty()) {
     std::ofstream os(out);
@@ -348,6 +395,7 @@ int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  if (args.get_bool("list-algorithms", false)) return cmd_list_algorithms();
   if (args.positional().empty()) return usage();
   const std::string cmd = args.positional()[0];
   try {
