@@ -160,21 +160,42 @@ void warn_leader_clamp(CollKind kind, const std::string& algo, int requested,
                         << " leaders from " << requested << " to ppn=" << ppn);
 }
 
-// Tracing wrapper: records the calling rank's participation as a span and
-// accumulates per-(kind, label) stats. Only instantiated while the machine
-// traces, so the common path pays nothing for attribution.
+// Tracing/perturbation wrapper: applies arrival skew before the rank's
+// outermost collective entry, records the participation as a span, and
+// accumulates per-(kind, label) latency and imbalance stats. Only
+// instantiated while the machine traces or perturbs, so the common path
+// pays nothing for attribution.
 sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
                                  coll::CollArgs args, CollSpec spec,
                                  std::string label) {
   simmpi::Rank& r = *args.rank;
   simmpi::Machine& m = r.machine();
   const int world_rank = r.world_rank();
+  const int parties = args.comm->size();
+
+  // Arrival skew delays this rank's entry into its *outermost* collective
+  // only: algorithms dispatched from inside another collective (dpml-auto,
+  // the library selection stacks) enter at depth > 1 and are not re-skewed.
+  perturb::Perturbation* pt = m.perturbation();
+  const bool top = pt != nullptr && pt->enter_collective(world_rank);
+  if (top) {
+    const sim::Time off = pt->arrival_offset(world_rank);
+    if (off > 0) {
+      const sim::Time t0 = m.now();
+      co_await r.engine().delay(off);
+      m.trace("arrival-skew", "perturb", world_rank, t0, m.now());
+    }
+  }
+
   const sim::Time start = m.now();
   co_await d.make(std::move(args), spec);
   const sim::Time end = m.now();
+  if (pt != nullptr) pt->exit_collective(world_rank);
   const char* kind = coll::coll_kind_name(d.kind);
   m.trace(label.c_str(), kind, world_rank, start, end);
-  m.note_collective(std::string(kind) + "/" + label, end - start);
+  const std::string key = std::string(kind) + "/" + label;
+  m.note_collective(key, end - start);
+  m.note_imbalance(key, parties, world_rank, start, end);
 }
 
 }  // namespace
@@ -212,7 +233,7 @@ sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
     s.leaders = m.ppn();
   }
 
-  if (!m.tracing()) {
+  if (!m.tracing() && m.perturbation() == nullptr) {
     // Direct hand-off: the descriptor's coroutine is the collective, with
     // no wrapper frame — simulated times are identical to calling the
     // src/coll implementation directly.

@@ -7,6 +7,7 @@
 
 #include "simmpi/verify.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace dpml::core {
 
@@ -51,21 +52,26 @@ int alltoall_block_id(int src, int dst, int world) { return src * world + dst; }
 
 }  // namespace
 
-MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
-                                 int nodes, int ppn, std::size_t bytes,
-                                 const coll::CollSpec& spec,
-                                 const MeasureOptions& opt) {
+namespace {
+
+// One repetition: fresh machine (perturbation seed shifted by `rep`), warmup
+// + measured iterations, data verification. Appends this machine's samples
+// and merges events/verified/imbalance into `res`.
+void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
+                 int ppn, std::size_t bytes, const coll::CollSpec& spec,
+                 const MeasureOptions& opt, int rep,
+                 std::vector<sim::Time>& all_samples, MeasureResult& res,
+                 sim::Time& imb_entry, sim::Time& imb_exit, sim::Time& imb_wait) {
   const std::size_t esize = simmpi::dtype_size(opt.dt);
-  DPML_CHECK_MSG(bytes % esize == 0,
-                 "message size must be a multiple of the datatype size");
   const std::size_t count = bytes / esize;
-  DPML_CHECK(opt.iterations >= 1 && opt.warmup >= 0);
   const coll::CollDescriptor& desc =
       coll::CollRegistry::instance().at(kind, spec.algo);
 
   simmpi::RunOptions ropt;
   ropt.with_data = opt.with_data;
   ropt.seed = opt.seed;
+  ropt.perturb = opt.perturb;
+  ropt.perturb.seed = opt.perturb.seed + static_cast<std::uint64_t>(rep);
   simmpi::Machine machine(cfg, nodes, ppn, ropt);
 
   // Attach an in-network aggregation fabric when the design needs it (or
@@ -134,20 +140,17 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
     return bench_rank(kind, r, used, opt, count, send, recv, sh);
   });
 
-  MeasureResult res;
   DPML_CHECK(static_cast<int>(sh->samples.size()) == opt.iterations);
-  sim::Time total = 0;
-  sim::Time best = sh->samples.front();
-  sim::Time worst = sh->samples.front();
-  for (sim::Time t : sh->samples) {
-    total += t;
-    best = std::min(best, t);
-    worst = std::max(worst, t);
+  all_samples.insert(all_samples.end(), sh->samples.begin(),
+                     sh->samples.end());
+  res.events += machine.engine().events_processed();
+  for (const auto& [key, st] : machine.imbalance_stats()) {
+    (void)key;
+    res.imbalance_ops += st.ops;
+    imb_entry += st.entry_skew_total;
+    imb_exit += st.exit_skew_total;
+    imb_wait += st.wait_total;
   }
-  res.avg_us = sim::to_us(total) / opt.iterations;
-  res.best_us = sim::to_us(best);
-  res.worst_us = sim::to_us(worst);
-  res.events = machine.engine().events_processed();
 
   if (opt.with_data) {
     switch (kind) {
@@ -196,6 +199,52 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
         break;
       }
     }
+  }
+}
+
+}  // namespace
+
+MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
+                                 int nodes, int ppn, std::size_t bytes,
+                                 const coll::CollSpec& spec,
+                                 const MeasureOptions& opt) {
+  const std::size_t esize = simmpi::dtype_size(opt.dt);
+  DPML_CHECK_MSG(bytes % esize == 0,
+                 "message size must be a multiple of the datatype size");
+  DPML_CHECK(opt.iterations >= 1 && opt.warmup >= 0);
+  DPML_CHECK_MSG(opt.repetitions >= 1, "measure needs at least one repetition");
+
+  MeasureResult res;
+  std::vector<sim::Time> samples;
+  samples.reserve(static_cast<std::size_t>(opt.repetitions) *
+                  static_cast<std::size_t>(opt.iterations));
+  sim::Time imb_entry = 0, imb_exit = 0, imb_wait = 0;
+  for (int rep = 0; rep < opt.repetitions; ++rep) {
+    measure_rep(kind, cfg, nodes, ppn, bytes, spec, opt, rep, samples, res,
+                imb_entry, imb_exit, imb_wait);
+  }
+
+  sim::Time total = 0;
+  sim::Time best = samples.front();
+  sim::Time worst = samples.front();
+  std::vector<double> us;
+  us.reserve(samples.size());
+  for (sim::Time t : samples) {
+    total += t;
+    best = std::min(best, t);
+    worst = std::max(worst, t);
+    us.push_back(sim::to_us(t));
+  }
+  res.avg_us = sim::to_us(total) / static_cast<double>(samples.size());
+  res.best_us = sim::to_us(best);
+  res.worst_us = sim::to_us(worst);
+  res.median_us = util::percentile(us, 50.0);
+  res.p99_us = util::percentile(std::move(us), 99.0);
+  if (res.imbalance_ops > 0) {
+    const double ops = static_cast<double>(res.imbalance_ops);
+    res.entry_skew_avg_us = sim::to_us(imb_entry) / ops;
+    res.exit_skew_avg_us = sim::to_us(imb_exit) / ops;
+    res.wait_avg_us = sim::to_us(imb_wait) / ops;
   }
   return res;
 }

@@ -12,14 +12,23 @@
 
 #include "core/api.hpp"
 #include "net/cluster.hpp"
+#include "perturb/spec.hpp"
 
 namespace dpml::core {
 
 struct MeasureOptions {
   int iterations = 5;
   int warmup = 2;
+  // Independent repetitions: each builds a fresh Machine whose perturbation
+  // seed is perturb.seed + rep, so distributions over noise realizations can
+  // be reported (min/median/p99). With repetitions == 1, rep 0 uses
+  // perturb.seed itself and results equal a single run.
+  int repetitions = 1;
   bool with_data = false;  // metadata-only by default: scales to 10k ranks
   std::uint64_t seed = 1;
+  // Machine perturbations for every repetition (empty => pristine machines
+  // on the exact unperturbed code path).
+  perturb::PerturbSpec perturb;
   simmpi::Dtype dt = simmpi::Dtype::f32;   // paper: MPI_FLOAT
   simmpi::ReduceOp op = simmpi::ReduceOp::sum;  // paper: MPI_SUM
   int root = 0;  // rooted kinds (reduce/bcast) only
@@ -29,8 +38,16 @@ struct MeasureResult {
   double avg_us = 0.0;
   double best_us = 0.0;
   double worst_us = 0.0;
+  double median_us = 0.0;      // over all iterations of all repetitions
+  double p99_us = 0.0;
   bool verified = true;        // always true in metadata-only runs
   std::uint64_t events = 0;    // engine events processed (sanity/diagnostics)
+  // Collective-entry imbalance aggregated over every repetition's machine
+  // (all zero on pristine, untraced runs; see simmpi::ImbalanceStats).
+  std::uint64_t imbalance_ops = 0;
+  double entry_skew_avg_us = 0.0;  // mean per-op (max - min) entry skew
+  double exit_skew_avg_us = 0.0;   // mean per-op (max - min) exit skew
+  double wait_avg_us = 0.0;        // mean per-op summed early-arriver wait
 };
 
 // Measure any registered collective. `bytes` is the message size per rank;

@@ -1,0 +1,133 @@
+#include "perturb/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpml::perturb {
+
+Perturbation::Perturbation(PerturbSpec spec, int world_size)
+    : spec_(std::move(spec)),
+      straggler_scale_(static_cast<std::size_t>(world_size), 1.0),
+      jitter_op_(static_cast<std::size_t>(world_size), 0),
+      skew_op_(static_cast<std::size_t>(world_size), 0),
+      coll_depth_(static_cast<std::size_t>(world_size), 0) {
+  DPML_CHECK_MSG(world_size >= 1, "perturbation needs a non-empty world");
+  jitter_seed_ = util::SplitMix64(spec_.seed, kJitter).next_u64();
+  skew_seed_ = util::SplitMix64(spec_.seed, kSkew).next_u64();
+
+  // Seeded straggler choice: partial Fisher-Yates over the world ranks.
+  const int k = std::min(spec_.stragglers.count, world_size);
+  if (k > 0 && spec_.stragglers.scale != 1.0) {
+    util::SplitMix64 g(spec_.seed, kStragglers);
+    std::vector<int> ranks(static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i) ranks[static_cast<std::size_t>(i)] = i;
+    for (int i = 0; i < k; ++i) {
+      const auto j = i + static_cast<int>(g.next_below(
+                             static_cast<std::uint64_t>(world_size - i)));
+      std::swap(ranks[static_cast<std::size_t>(i)],
+                ranks[static_cast<std::size_t>(j)]);
+      straggler_ranks_.push_back(ranks[static_cast<std::size_t>(i)]);
+      straggler_scale_[static_cast<std::size_t>(
+          ranks[static_cast<std::size_t>(i)])] = spec_.stragglers.scale;
+    }
+    std::sort(straggler_ranks_.begin(), straggler_ranks_.end());
+  }
+}
+
+util::SplitMix64 Perturbation::stream(std::uint64_t purpose_seed, int rank,
+                                      std::uint64_t op) {
+  return util::SplitMix64(
+      purpose_seed,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) |
+          (op & 0xffffffffull));
+}
+
+double Perturbation::jitter_factor(int rank, std::uint64_t op) const {
+  util::SplitMix64 g = stream(jitter_seed_, rank, op);
+  switch (spec_.jitter.kind) {
+    case JitterKind::none:
+      return 1.0;
+    case JitterKind::uniform:
+      return 1.0 + spec_.jitter.frac * (2.0 * g.next_double() - 1.0);
+    case JitterKind::lognormal: {
+      // Box-Muller; mean-1 normalization so jitter does not shift the
+      // average cost, only spreads it.
+      const double u1 = std::max(g.next_double(), 1e-12);
+      const double u2 = g.next_double();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double s = spec_.jitter.sigma;
+      return std::exp(s * z - 0.5 * s * s);
+    }
+    case JitterKind::spike:
+      return g.next_double() < spec_.jitter.prob ? spec_.jitter.scale : 1.0;
+  }
+  return 1.0;
+}
+
+double Perturbation::compute_factor(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  double f = straggler_scale_[r];
+  if (spec_.jitter.kind != JitterKind::none) {
+    f *= jitter_factor(rank, jitter_op_[r]++);
+  }
+  return f;
+}
+
+sim::Time Perturbation::arrival_offset(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  switch (spec_.skew.kind) {
+    case SkewKind::none:
+      return 0;
+    case SkewKind::uniform: {
+      util::SplitMix64 g = stream(skew_seed_, rank, skew_op_[r]++);
+      return static_cast<sim::Time>(g.next_double() *
+                                    static_cast<double>(spec_.skew.max));
+    }
+    case SkewKind::fixed:
+      return spec_.skew.offsets[r % spec_.skew.offsets.size()];
+  }
+  return 0;
+}
+
+bool Perturbation::enter_collective(int rank) {
+  return ++coll_depth_[static_cast<std::size_t>(rank)] == 1;
+}
+
+void Perturbation::exit_collective(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  DPML_CHECK_MSG(coll_depth_[r] > 0, "unbalanced collective exit");
+  --coll_depth_[r];
+}
+
+namespace {
+// Symmetric wildcard match of one rule against a node pair at `now`.
+bool matches(const LinkSpec& l, int a, int b, sim::Time now) {
+  if (now < l.from) return false;
+  if (l.until != 0 && now >= l.until) return false;
+  const auto ends_match = [](int rs, int rd, int x, int y) {
+    return (rs < 0 || rs == x) && (rd < 0 || rd == y);
+  };
+  return ends_match(l.src, l.dst, a, b) || ends_match(l.src, l.dst, b, a);
+}
+}  // namespace
+
+double Perturbation::link_bw_scale(int a, int b, sim::Time now) const {
+  double scale = 1.0;
+  for (const LinkSpec& l : spec_.links) {
+    if (matches(l, a, b, now)) scale *= l.bw_scale;
+  }
+  return scale;
+}
+
+sim::Time Perturbation::link_extra_latency(int a, int b, sim::Time now) const {
+  sim::Time extra = 0;
+  for (const LinkSpec& l : spec_.links) {
+    if (matches(l, a, b, now)) extra += l.extra_latency;
+  }
+  return extra;
+}
+
+}  // namespace dpml::perturb

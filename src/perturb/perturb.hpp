@@ -1,0 +1,88 @@
+// Perturbation runtime: the object the Machine consults on charge paths.
+//
+// Built once per Machine from a non-empty PerturbSpec. Every stochastic
+// decision flows through util::SplitMix64 under one documented derivation
+// scheme, so a (spec.seed, rank, op) triple fully determines each draw and
+// identical seeds reproduce identical simulated times run-to-run:
+//
+//   purpose seed   P_s = SplitMix64(seed, purpose).next_u64()
+//                  (purpose: 1 = jitter, 2 = skew, 3 = stragglers)
+//   sub-stream     SplitMix64(P_s, rank * 2^32 + op)
+//
+// `op` is a per-rank counter advanced once per draw site (one compute
+// charge for jitter, one top-level collective entry for skew), so draws are
+// independent across ranks and across operations, and stable under any
+// event interleaving of other ranks.
+//
+// The Machine holds a Perturbation only when the spec is non-empty; a null
+// pointer is the pristine-machine fast path, keeping zero-spec runs
+// bit-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perturb/spec.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace dpml::perturb {
+
+class Perturbation {
+ public:
+  // Purposes anchoring independent draw streams (see header comment).
+  enum Purpose : std::uint64_t { kJitter = 1, kSkew = 2, kStragglers = 3 };
+
+  Perturbation(PerturbSpec spec, int world_size);
+
+  const PerturbSpec& spec() const { return spec_; }
+
+  // Multiplier for one compute/reduction charge by `rank`: the jitter draw
+  // (advancing the rank's jitter sub-stream) times the straggler scale.
+  double compute_factor(int rank);
+
+  // Deterministic scale applied to every charge made by `rank`
+  // (1.0 for non-stragglers).
+  double charge_scale(int rank) const {
+    return straggler_scale_[static_cast<std::size_t>(rank)];
+  }
+
+  // Entry offset for this rank's next top-level collective. Uniform skew
+  // advances the rank's skew sub-stream; fixed skew indexes the offset
+  // vector (rank mod size).
+  sim::Time arrival_offset(int rank);
+
+  // Top-level collective tracking: algorithms dispatched from inside another
+  // collective (dpml-auto, library selection stacks) must not re-apply
+  // arrival skew. Returns true when this entry is the rank's outermost one.
+  bool enter_collective(int rank);
+  void exit_collective(int rank);
+
+  // ---- Link degradation ----
+  bool has_link_rules() const { return !spec_.links.empty(); }
+  // Combined bandwidth scale / extra head latency for a message between
+  // nodes `a` and `b` whose head enters the fabric at `now`. Rules match
+  // symmetrically; several matching rules multiply scales and add latencies.
+  double link_bw_scale(int a, int b, sim::Time now) const;
+  sim::Time link_extra_latency(int a, int b, sim::Time now) const;
+
+  // The seeded straggler choice (sorted world ranks), for reporting.
+  const std::vector<int>& straggler_ranks() const { return straggler_ranks_; }
+
+ private:
+  // The documented sub-stream: generator for (purpose seed, rank, op).
+  static util::SplitMix64 stream(std::uint64_t purpose_seed, int rank,
+                                 std::uint64_t op);
+  double jitter_factor(int rank, std::uint64_t op) const;
+
+  PerturbSpec spec_;
+  std::uint64_t jitter_seed_ = 0;
+  std::uint64_t skew_seed_ = 0;
+  std::vector<double> straggler_scale_;    // per world rank
+  std::vector<int> straggler_ranks_;
+  std::vector<std::uint64_t> jitter_op_;   // per-rank draw counters
+  std::vector<std::uint64_t> skew_op_;
+  std::vector<int> coll_depth_;            // per-rank collective nesting
+};
+
+}  // namespace dpml::perturb

@@ -1,0 +1,91 @@
+// Perturbation specification.
+//
+// A PerturbSpec describes the deterministic "dirty machine" effects a run
+// should be subjected to: per-rank compute jitter, process arrival skew
+// before each collective, per-link bandwidth/latency degradation (optionally
+// time-windowed), and straggler ranks whose every charge is scaled. The spec
+// is plain data; the runtime that consults it lives in perturb/perturb.hpp.
+//
+// Specs parse from a compact CLI string of ';'-separated injector clauses:
+//
+//   jitter=uniform:frac=0.1            factor ~ U[1-frac, 1+frac] per charge
+//   jitter=lognormal:sigma=0.2         factor ~ LogNormal(mean 1) per charge
+//   jitter=spike:prob=0.01,scale=4     factor = scale w.p. prob, else 1
+//   skew=uniform:max_us=50             per-rank entry offset ~ U[0, max_us],
+//                                      redrawn for every collective
+//   skew=fixed:us=0/10/20/30           fixed per-rank offsets (index mod n)
+//   link=bw=0.5,lat_us=5[,src=A][,dst=B][,from_us=T0][,until_us=T1]
+//                                      repeatable; wildcard node when omitted
+//   stragglers=k=2,scale=3             k seeded ranks, all charges x scale
+//   seed=7                             base seed for every stochastic draw
+//
+// An empty spec ("" or PerturbSpec{}) is the contract for a pristine
+// machine: the simulator takes the exact unperturbed code path and produces
+// bit-identical simulated times (locked by tests/perturb_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dpml::perturb {
+
+enum class JitterKind { none, uniform, lognormal, spike };
+
+struct JitterSpec {
+  JitterKind kind = JitterKind::none;
+  double frac = 0.1;    // uniform: half-width of the factor interval
+  double sigma = 0.2;   // lognormal: shape (mean-1 normalization)
+  double prob = 0.01;   // spike: Bernoulli probability per charge
+  double scale = 4.0;   // spike: factor applied when the spike fires
+};
+
+enum class SkewKind { none, uniform, fixed };
+
+struct SkewSpec {
+  SkewKind kind = SkewKind::none;
+  sim::Time max = 0;                // uniform: offsets drawn from [0, max]
+  std::vector<sim::Time> offsets;   // fixed: per-rank (indexed rank mod size)
+};
+
+// One link-degradation rule. Applies to inter-node messages whose
+// (src node, dst node) pair matches {src, dst} in either direction; -1 is a
+// wildcard. Active during [from, until), where until == 0 means forever.
+// Multiple matching rules compose: bandwidth scales multiply, latencies add.
+struct LinkSpec {
+  int src = -1;
+  int dst = -1;
+  double bw_scale = 1.0;        // multiplies the NIC link bandwidth
+  sim::Time extra_latency = 0;  // added to the fabric head latency
+  sim::Time from = 0;
+  sim::Time until = 0;
+};
+
+struct StragglerSpec {
+  int count = 0;       // ranks chosen by a seeded draw over the world
+  double scale = 1.0;  // every charge made by a chosen rank is scaled
+};
+
+struct PerturbSpec {
+  JitterSpec jitter;
+  SkewSpec skew;
+  std::vector<LinkSpec> links;
+  StragglerSpec stragglers;
+  std::uint64_t seed = 1;
+
+  // True when no injector is configured; the Machine then builds no
+  // Perturbation at all and every charge path stays untouched.
+  bool empty() const;
+
+  // Parse the CLI syntax above. "" parses to an empty spec. Throws
+  // util::InvariantError naming the offending clause and listing every
+  // supported injector (or, for a known injector, its parameters).
+  static PerturbSpec parse(const std::string& text);
+
+  // Canonical round-trippable form ("" for an empty spec).
+  std::string to_string() const;
+};
+
+}  // namespace dpml::perturb

@@ -21,6 +21,14 @@ std::vector<std::byte> own_copy(ConstBytes data) {
 
 int ceil_div(int a, int b) { return (a + b - 1) / b; }
 
+// Scale a charge by a perturbation factor. The factor-1.0 early-out keeps
+// clean paths integer-exact (no double round-trip) even when a Perturbation
+// exists but the relevant injector is inactive for this rank.
+Time scale_time(Time t, double factor) {
+  if (factor == 1.0) return t;
+  return static_cast<Time>(static_cast<double>(t) * factor);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -56,7 +64,15 @@ Rank::Rank(Machine& m, int world_rank)
 sim::Engine& Rank::engine() { return machine_->engine(); }
 Node& Rank::node() { return machine_->node(node_id_); }
 
-sim::CoTask<void> Rank::busy(Time t) { co_await engine().delay(t); }
+sim::CoTask<void> Rank::busy(Time t) {
+  // Compute charges carry the per-rank jitter/straggler factor; everything
+  // routed through compute() (application phases, leader collection costs)
+  // is noise-bearing work.
+  if (perturb::Perturbation* pt = machine_->perturbation()) {
+    t = scale_time(t, pt->compute_factor(world_rank_));
+  }
+  co_await engine().delay(t);
+}
 
 Time Rank::reduce_cost(std::size_t bytes) const {
   return static_cast<Time>(static_cast<double>(bytes) *
@@ -70,9 +86,15 @@ sim::CoTask<void> Rank::reduce_compute(std::size_t bytes) {
   // algorithm ranks) share the aggregate memory pipe. This is the physical
   // effect that makes leader counts plateau (paper §6.2/§6.4: 16 leaders is
   // near-optimal; beyond that the node is memory-bound, not compute-bound).
+  // Perturbation jitter scales the processor-side cost only; the shared
+  // memory-pipe occupancy stays nominal (noise models core-local effects).
   machine_->stats_.reduce_bytes += bytes;
+  Time proc_cost = reduce_cost(bytes);
+  if (perturb::Perturbation* pt = machine_->perturbation()) {
+    proc_cost = scale_time(proc_cost, pt->compute_factor(world_rank_));
+  }
   const Time t0 = engine().now();
-  const Time proc_done = t0 + reduce_cost(bytes);
+  const Time proc_done = t0 + proc_cost;
   const Time mem_done = node().mem().acquire(
       t0, transfer_time(bytes, machine_->config().host.mem_agg_bw));
   const Time done = std::max(proc_done, mem_done);
@@ -202,15 +224,34 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
       leaf_down_.emplace_back("leaf" + std::to_string(leafidx) + ".down");
     }
   }
+  if (!opt_.perturb.empty()) {
+    perturb_ =
+        std::make_unique<perturb::Perturbation>(opt_.perturb, world_size());
+  }
+}
+
+void Machine::enable_trace() {
+  if (tracer_) return;
+  tracer_ = std::make_unique<Tracer>();
+  tracer_->set_process_name("cluster " + cfg_.name + " " +
+                            std::to_string(nodes_used_) + "x" +
+                            std::to_string(ppn_));
+  for (int w = 0; w < world_size(); ++w) {
+    tracer_->set_thread_name(
+        w, "rank " + std::to_string(w) + " (node " +
+               std::to_string(w / ppn_) + ")");
+  }
 }
 
 void Machine::route(int src_node, int dst_node, int dst_hca,
                     sim::Time tx_start, sim::Time occupancy,
-                    std::size_t bytes, std::function<void(sim::Time)> complete) {
+                    std::size_t bytes, sim::Time extra_latency,
+                    std::function<void(sim::Time)> complete) {
   const net::NicModel& nic = cfg_.nic;
   const bool same_leaf = topo_.leaf_of(src_node) == topo_.leaf_of(dst_node);
   if (same_leaf || leaf_up_.empty()) {
-    const Time head = tx_start + topo_.path_latency(src_node, dst_node, nic);
+    const Time head = tx_start + topo_.path_latency(src_node, dst_node, nic) +
+                      extra_latency;
     engine_.schedule_fn(head, [this, dst_node, dst_hca, occupancy,
                                complete = std::move(complete)]() {
       const Time rx_done =
@@ -225,9 +266,9 @@ void Machine::route(int src_node, int dst_node, int dst_hca,
   const Time occ_core = transfer_time(bytes, core_bw_);
   const int src_leaf = topo_.leaf_of(src_node);
   const int dst_leaf = topo_.leaf_of(dst_node);
-  engine_.schedule_fn(tx_start + hop, [this, src_leaf, dst_leaf, dst_node,
-                                       dst_hca, occupancy, occ_core, hop,
-                                       complete = std::move(complete)]() {
+  engine_.schedule_fn(tx_start + hop + extra_latency,
+                      [this, src_leaf, dst_leaf, dst_node, dst_hca, occupancy,
+                       occ_core, hop, complete = std::move(complete)]() {
     const auto up = leaf_up_[static_cast<std::size_t>(src_leaf)].acquire_grant(
         engine_.now(), occ_core);
     engine_.schedule_fn(up.start + hop, [this, dst_leaf, dst_node, dst_hca,
@@ -426,15 +467,22 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     });
   };
 
+  // Perturbation modifiers. `chg` scales every host-side charge the sender
+  // makes (straggler model); the clean value 1.0 leaves charges untouched
+  // via scale_time's early-out.
+  const double chg =
+      perturb_ != nullptr ? perturb_->charge_scale(src_world) : 1.0;
+
   if (dst.node_id() == sender.node_id()) {
     // Intra-node: shared-memory transport (copy + flag).
     DPML_CHECK_MSG(dst_world != src_world, "self-send is not supported");
     const bool xsock = dst.socket() != sender.socket();
     const double bw = xsock ? host.copy_bw_xsocket : host.copy_bw;
     const Time t0 = engine_.now();
-    const Time proc_done = t0 + host.copy_startup +
+    const Time proc_cost = host.copy_startup +
                            (xsock ? host.xsocket_latency : 0) +
                            transfer_time(bytes, bw);
+    const Time proc_done = t0 + scale_time(proc_cost, chg);
     const Time mem_done = node(sender.node_id())
                               .mem()
                               .acquire(t0, transfer_time(bytes, host.mem_agg_bw));
@@ -459,6 +507,19 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   const int src_hca = hca_of_local(sender.local_rank());
   const int dst_hca = hca_of_local(dst.local_rank());
 
+  // Link-degradation rules are evaluated when the message enters the fabric
+  // (time-windowed rules see the current simulated time): a bandwidth scale
+  // on the wire occupancy and extra head latency on the path.
+  const auto link_mods = [this, src_node, dst_node](double& bw_scale,
+                                                    Time& extra) {
+    bw_scale = 1.0;
+    extra = 0;
+    if (perturb_ != nullptr && perturb_->has_link_rules()) {
+      bw_scale = perturb_->link_bw_scale(src_node, dst_node, engine_.now());
+      extra = perturb_->link_extra_latency(src_node, dst_node, engine_.now());
+    }
+  };
+
   // Inter-node data movement is pipelined: the per-process injection pipe,
   // the node TX link, and the destination RX link each serialize the payload
   // once, but they overlap in time (cut-through), so a single uncontended
@@ -467,13 +528,18 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   if (bytes < nic.rendezvous_threshold) {
     stats_.net_messages += 1;
     stats_.net_bytes += bytes;
-    co_await engine_.delay(nic.o_send);
+    const Time o_send = scale_time(nic.o_send, chg);
+    co_await engine_.delay(o_send);
     const Time t0 = engine_.now();
-    const Time inj_done = t0 + transfer_time(bytes, nic.proc_bw);
+    const Time inj_done =
+        t0 + scale_time(transfer_time(bytes, nic.proc_bw), chg);
+    double lbw;
+    Time extra;
+    link_mods(lbw, extra);
     const Time occupancy =
-        std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
+        std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
     const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
-    trace("net-send", "net", src_world, t0 - nic.o_send,
+    trace("net-send", "net", src_world, t0 - o_send,
           std::max(inj_done, tx.done));
     Envelope env;
     env.ctx = ctx;
@@ -482,7 +548,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.bytes = bytes;
     env.data = own_copy(data);
     env.recv_cost = nic.o_recv;
-    route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes,
+    route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
           [deliver_at, env = std::move(env)](Time rx_done) mutable {
             deliver_at(rx_done, std::move(env));
           });
@@ -494,7 +560,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   stats_.net_messages += 1;
   stats_.net_bytes += bytes;
   stats_.rndv_handshakes += 1;
-  co_await engine_.delay(nic.o_send);
+  co_await engine_.delay(scale_time(nic.o_send, chg));
   auto state = std::make_shared<RndvState>(engine_);
   {
     const auto txg =
@@ -509,25 +575,38 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     rts.on_match = [this, state, src_node, dst_node](PostedRecv& pr) {
       state->pr = &pr;
       // CTS control message back to the sender (receiver-side overhead plus
-      // the return path).
+      // the return path, including any degraded-link extra latency).
+      Time cts_extra = 0;
+      if (perturb_ != nullptr && perturb_->has_link_rules()) {
+        cts_extra =
+            perturb_->link_extra_latency(dst_node, src_node, engine_.now());
+      }
       const Time cts_arrive = engine_.now() + cfg_.nic.o_send +
-                              topo_.path_latency(dst_node, src_node, cfg_.nic);
+                              topo_.path_latency(dst_node, src_node, cfg_.nic) +
+                              cts_extra;
       engine_.schedule_fn(cts_arrive, [state]() { state->cts.post(); });
     };
-    route(src_node, dst_node, dst_hca, txg.start, nic.per_msg_tx, 0,
+    double rts_lbw;
+    Time rts_extra;
+    link_mods(rts_lbw, rts_extra);
+    route(src_node, dst_node, dst_hca, txg.start, nic.per_msg_tx, 0, rts_extra,
           [deliver_at, rts = std::move(rts)](Time rx_done) mutable {
             deliver_at(rx_done, std::move(rts));
           });
   }
   co_await state->cts.wait();
 
-  co_await engine_.delay(nic.o_send);
+  co_await engine_.delay(scale_time(nic.o_send, chg));
   const Time t0 = engine_.now();
-  const Time inj_done = t0 + transfer_time(bytes, nic.proc_bw);
+  const Time inj_done =
+      t0 + scale_time(transfer_time(bytes, nic.proc_bw), chg);
+  double lbw;
+  Time extra;
+  link_mods(lbw, extra);
   const Time occupancy =
-      std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
+      std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
   const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
-  route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes,
+  route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
         [this, state, payload = own_copy(data)](Time rx_done) mutable {
           engine_.schedule_fn(rx_done, [state, payload = std::move(payload)]() {
             PostedRecv& pr = *state->pr;
@@ -556,7 +635,12 @@ sim::CoTask<RecvResult> Machine::do_recv(Rank& receiver, int src_world,
   pr.done = &done;
   receiver.matcher().post_recv(&pr);
   co_await done.wait();
-  co_await engine_.delay(pr.recv_cost);
+  Time recv_cost = pr.recv_cost;
+  if (perturb_ != nullptr) {
+    recv_cost =
+        scale_time(recv_cost, perturb_->charge_scale(receiver.world_rank()));
+  }
+  co_await engine_.delay(recv_cost);
   if (pr.truncated) {
     throw util::MessageError(
         "message truncated: rank " + std::to_string(receiver.world_rank()) +
@@ -579,9 +663,12 @@ sim::CoTask<void> Machine::do_shm_copy(Rank& r, ShmWindow& w,
   const bool xsock = r.socket() != w.owner_socket();
   const double bw = xsock ? host.copy_bw_xsocket : host.copy_bw;
   const Time t0 = engine_.now();
-  const Time proc_done = t0 + host.copy_startup +
-                         (xsock ? host.xsocket_latency : 0) +
-                         transfer_time(bytes, bw);
+  Time proc_cost = host.copy_startup + (xsock ? host.xsocket_latency : 0) +
+                   transfer_time(bytes, bw);
+  if (perturb_ != nullptr) {
+    proc_cost = scale_time(proc_cost, perturb_->charge_scale(r.world_rank()));
+  }
+  const Time proc_done = t0 + proc_cost;
   const Time mem_done =
       r.node().mem().acquire(t0, transfer_time(bytes, host.mem_agg_bw));
   stats_.window_copies += 1;

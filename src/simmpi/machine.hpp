@@ -20,6 +20,7 @@
 
 #include "net/cluster.hpp"
 #include "net/topology.hpp"
+#include "perturb/perturb.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
@@ -37,6 +38,11 @@ class Rank;
 struct RunOptions {
   bool with_data = true;
   std::uint64_t seed = 1;
+  // Deterministic machine perturbations (compute jitter, arrival skew, link
+  // degradation, stragglers). An empty spec — the default — builds no
+  // perturbation runtime at all: every charge path is bit-identical to a
+  // machine constructed before this field existed.
+  perturb::PerturbSpec perturb;
 };
 
 struct RecvResult {
@@ -266,8 +272,25 @@ class Machine {
     cs.rank_time += elapsed;
   }
 
+  // The perturbation runtime, or nullptr for a pristine machine. Charge
+  // paths branch on this pointer; the null path is the exact pre-perturb
+  // code.
+  perturb::Perturbation* perturbation() const { return perturb_.get(); }
+
+  // Per-collective arrival/exit imbalance, keyed like collective_stats().
+  // Populated by core::run_collective while tracing or a perturbation is
+  // active.
+  const std::map<std::string, ImbalanceStats>& imbalance_stats() const {
+    return imbalance_.stats();
+  }
+  void note_imbalance(const std::string& key, int parties, int rank,
+                      sim::Time entry, sim::Time exit) {
+    imbalance_.note(key, parties, rank, entry, exit);
+  }
+
   // Optional tracing: enable before run(); spans accumulate in tracer().
-  void enable_trace() { if (!tracer_) tracer_ = std::make_unique<Tracer>(); }
+  // Also labels the viewer lanes ("rank N (node X)") via tracer metadata.
+  void enable_trace();
   bool tracing() const { return tracer_ != nullptr; }
   Tracer& tracer() { return *tracer_; }
 
@@ -299,7 +322,9 @@ class Machine {
   Comm null_comm_;
   CommStats stats_;
   std::map<std::string, CollectiveStats> coll_stats_;
+  ImbalanceTracker imbalance_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<perturb::Perturbation> perturb_;
 
   // Per-leaf fat-tree uplink/downlink pools (empty when the core is
   // modelled as non-blocking, i.e. oversubscription == 1).
@@ -311,8 +336,9 @@ class Machine {
 
   // Schedule the fabric traversal of a message whose head leaves the source
   // NIC at tx_start; `complete` runs with the RX completion time.
+  // `extra_latency` is perturbation-injected path delay (0 when clean).
   void route(int src_node, int dst_node, int dst_hca, sim::Time tx_start,
-             sim::Time occupancy, std::size_t bytes,
+             sim::Time occupancy, std::size_t bytes, sim::Time extra_latency,
              std::function<void(sim::Time)> complete);
 
   // Transport implementation (machine.cpp).

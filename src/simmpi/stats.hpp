@@ -8,6 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.hpp"
 
 namespace dpml::simmpi {
 
@@ -18,6 +23,73 @@ namespace dpml::simmpi {
 struct CollectiveStats {
   std::uint64_t ops = 0;        // rank-level participations
   std::int64_t rank_time = 0;   // summed per-rank elapsed ticks
+};
+
+// Per-(collective kind, algorithm label) arrival/departure imbalance, the
+// measurement side of the perturbation subsystem: how unevenly ranks enter
+// and leave a collective, and how much time early arrivers spend waiting
+// for the last one. Populated by the core dispatcher whenever tracing or a
+// perturbation is active; skews are per-op max - min over the participating
+// ranks, aggregated across ops.
+struct ImbalanceStats {
+  std::uint64_t ops = 0;            // completed collective operations
+  sim::Time entry_skew_total = 0;   // sum over ops of (max - min entry time)
+  sim::Time entry_skew_max = 0;     // worst single-op entry skew
+  sim::Time exit_skew_total = 0;    // sum over ops of (max - min exit time)
+  sim::Time exit_skew_max = 0;      // worst single-op exit skew
+  sim::Time wait_total = 0;         // sum over ranks of (max entry - entry)
+};
+
+// Groups per-rank entry/exit notes back into per-op records. A rank's n-th
+// participation under a key is op n (SPMD: every participant calls the same
+// collective sequence), so no global op id needs to be threaded through the
+// algorithms; once `parties` ranks reported an op it folds into the
+// aggregate ImbalanceStats for its key.
+class ImbalanceTracker {
+ public:
+  void note(const std::string& key, int parties, int rank, sim::Time entry,
+            sim::Time exit) {
+    KeyState& ks = state_[key];
+    const std::uint64_t op = ks.seq[rank]++;
+    Open& o = ks.open[op];
+    if (o.arrived == 0) {
+      o.min_entry = o.max_entry = entry;
+      o.min_exit = o.max_exit = exit;
+    } else {
+      o.min_entry = entry < o.min_entry ? entry : o.min_entry;
+      o.max_entry = entry > o.max_entry ? entry : o.max_entry;
+      o.min_exit = exit < o.min_exit ? exit : o.min_exit;
+      o.max_exit = exit > o.max_exit ? exit : o.max_exit;
+    }
+    o.entry_sum += entry;
+    if (++o.arrived < parties) return;
+    ImbalanceStats& st = stats_[key];
+    st.ops += 1;
+    const sim::Time entry_skew = o.max_entry - o.min_entry;
+    const sim::Time exit_skew = o.max_exit - o.min_exit;
+    st.entry_skew_total += entry_skew;
+    if (entry_skew > st.entry_skew_max) st.entry_skew_max = entry_skew;
+    st.exit_skew_total += exit_skew;
+    if (exit_skew > st.exit_skew_max) st.exit_skew_max = exit_skew;
+    st.wait_total += parties * o.max_entry - o.entry_sum;
+    ks.open.erase(op);
+  }
+
+  const std::map<std::string, ImbalanceStats>& stats() const { return stats_; }
+
+ private:
+  struct Open {
+    int arrived = 0;
+    sim::Time min_entry = 0, max_entry = 0;
+    sim::Time min_exit = 0, max_exit = 0;
+    sim::Time entry_sum = 0;
+  };
+  struct KeyState {
+    std::unordered_map<int, std::uint64_t> seq;  // per-rank op counters
+    std::map<std::uint64_t, Open> open;          // ops awaiting stragglers
+  };
+  std::map<std::string, ImbalanceStats> stats_;
+  std::map<std::string, KeyState> state_;
 };
 
 struct CommStats {

@@ -14,6 +14,21 @@ void write_escaped(std::ostream& os, const std::string& s) {
 void Tracer::write_chrome_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
+  if (!process_name_.empty()) {
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+          "{\"name\":\"";
+    write_escaped(os, process_name_);
+    os << "\"}}";
+    first = false;
+  }
+  for (const auto& [tid, name] : thread_names_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
   for (const Span& s : spans_) {
     if (!first) os << ",";
     first = false;

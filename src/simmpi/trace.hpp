@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -38,12 +39,27 @@ class Tracer {
   std::size_t size() const { return spans_.size(); }
   void clear() { spans_.clear(); }
 
-  // Chrome trace event format: one complete ('X') event per span, with the
-  // world rank as the thread id. Timestamps in microseconds.
+  // Viewer metadata: named lanes instead of bare pid/tid numbers. The
+  // Machine labels every rank lane "rank N (node X)" when tracing is
+  // enabled; both are emitted as Chrome 'M' (metadata) events.
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+  void set_thread_name(int tid, std::string name) {
+    thread_names_[tid] = std::move(name);
+  }
+  const std::string& process_name() const { return process_name_; }
+  const std::map<int, std::string>& thread_names() const {
+    return thread_names_;
+  }
+
+  // Chrome trace event format: process_name/thread_name metadata events
+  // followed by one complete ('X') event per span, with the world rank as
+  // the thread id. Timestamps in microseconds.
   void write_chrome_json(std::ostream& os) const;
 
  private:
   std::vector<Span> spans_;
+  std::string process_name_;
+  std::map<int, std::string> thread_names_;  // ordered: deterministic output
 };
 
 }  // namespace dpml::simmpi

@@ -2,8 +2,22 @@
 //
 // Every stochastic choice in the repository flows through SplitMix64 so that
 // a (seed, stream) pair fully determines a run. The simulator itself is
-// deterministic; randomness is only used to fill data buffers and to drive
-// synthetic workloads (miniAMR refinement decisions).
+// deterministic; randomness is used to fill data buffers, to drive synthetic
+// workloads (miniAMR refinement decisions), and to realize machine
+// perturbations (src/perturb).
+//
+// Seed-derivation scheme. Subsystems that need many independent draw
+// streams from one user-facing seed derive them in two documented steps
+// rather than ad hoc:
+//
+//   purpose seed  P = SplitMix64(seed, purpose).next_u64()
+//   sub-stream    SplitMix64(P, (uint64(uint32(rank)) << 32) | uint32(op))
+//
+// where `purpose` is a small per-subsystem enum constant (e.g.
+// perturb::Perturbation::Purpose: 1 = jitter, 2 = skew, 3 = stragglers) and
+// `op` is a per-rank draw counter. Each (seed, purpose, rank, op) tuple thus
+// names exactly one draw, independent of the event interleaving of other
+// ranks — the property the run-to-run reproducibility tests lock in.
 #pragma once
 
 #include <cstdint>

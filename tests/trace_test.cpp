@@ -76,6 +76,26 @@ TEST(Trace, ChromeJsonIsWellFormedish) {
   EXPECT_EQ(json[json.size() - 2], '}');
 }
 
+TEST(Trace, ChromeJsonEmitsLaneMetadata) {
+  RunOptions opt;
+  opt.with_data = false;
+  Machine m(net::test_cluster(2), 2, 2, opt);
+  m.enable_trace();
+  run_one_allreduce(m);
+  EXPECT_EQ(m.tracer().thread_names().size(), 4u);
+  EXPECT_EQ(m.tracer().thread_names().at(3), "rank 3 (node 1)");
+  std::ostringstream os;
+  m.tracer().write_chrome_json(os);
+  const std::string json = os.str();
+  // Perfetto lane labels: one process_name plus a thread_name per rank,
+  // emitted as 'M' metadata events ahead of the spans.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 0 (node 0)\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 3 (node 1)\""), std::string::npos);
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
 TEST(Trace, ClampsBackwardSpansAndClears) {
   Tracer t;
   t.add("x", "c", 0, sim::us(5.0), sim::us(1.0));  // end < start -> clamped

@@ -30,6 +30,7 @@
 #include "apps/replay.hpp"
 #include "core/selection.hpp"
 #include "model/fit.hpp"
+#include "perturb/spec.hpp"
 #include "net/cluster.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -56,6 +57,9 @@ int usage() {
       "  verify:     --nodes N --ppn P  (data-mode self-test, all kinds)\n"
       "common:       --cluster A|B|C|D|test --nodes N --ppn P --rails R\n"
       "              --collective allreduce|reduce|bcast|alltoall\n"
+      "              --perturb SPEC  (e.g. \"jitter=lognormal:sigma=0.2;"
+      "skew=uniform:max_us=50;seed=7\")\n"
+      "              --reps N  (independent noise realizations per point)\n"
       "              --list-algorithms  (print the collective registry)\n";
   return 2;
 }
@@ -103,6 +107,10 @@ core::MeasureOptions measure_opts(const util::Args& args) {
   opt.iterations = static_cast<int>(args.get_int("iterations", 3));
   opt.warmup = static_cast<int>(args.get_int("warmup", 1));
   opt.with_data = args.get_bool("data", false);
+  opt.repetitions = static_cast<int>(args.get_int("reps", 1));
+  // Unknown injectors/parameters throw util::InvariantError naming every
+  // valid one; main's catch turns that into the CLI error message.
+  opt.perturb = perturb::PerturbSpec::parse(args.get("perturb", ""));
   return opt;
 }
 
@@ -130,21 +138,43 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
     table = core::SelectionTable::parse(ss.str());
   }
   const auto sizes = util::Args::parse_size_range(args.get("sizes", "4:1M"));
-  util::Table t({"msg size", "design", "latency (us)", "verified"});
+  const core::MeasureOptions opt = measure_opts(args);
+  // Under perturbations (or multi-repetition runs) the latency is a
+  // distribution, so the table widens to median/p99 plus the measured
+  // arrival imbalance.
+  const bool perturbed = !opt.perturb.empty() || opt.repetitions > 1;
+  std::vector<std::string> header{"msg size", "design", "latency (us)"};
+  if (perturbed) {
+    header.insert(header.end(),
+                  {"median (us)", "p99 (us)", "entry skew (us)", "wait (us)"});
+  }
+  header.push_back("verified");
+  util::Table t(header);
   for (std::size_t bytes : sizes) {
     const core::CollSpec used = table ? table->select(kind, bytes) : spec;
-    const auto r = core::measure_collective(kind, cfg, nodes, ppn, bytes, used,
-                                            measure_opts(args));
+    const auto r =
+        core::measure_collective(kind, cfg, nodes, ppn, bytes, used, opt);
     t.row()
         .cell(util::format_bytes(bytes))
         .cell(used.label(kind))
-        .cell(r.avg_us, 2)
-        .cell(std::string(r.verified ? "yes" : "NO"));
+        .cell(r.avg_us, 2);
+    if (perturbed) {
+      t.cell(r.median_us, 2)
+          .cell(r.p99_us, 2)
+          .cell(r.entry_skew_avg_us, 2)
+          .cell(r.wait_avg_us, 2);
+    }
+    t.cell(std::string(r.verified ? "yes" : "NO"));
   }
   std::cout << coll::coll_kind_name(kind) << " "
             << (table ? std::string("table-driven") : spec.label(kind))
-            << " on cluster " << cfg.name << ", " << nodes << "x" << ppn
-            << "\n";
+            << " on cluster " << cfg.name << ", " << nodes << "x" << ppn;
+  if (!opt.perturb.empty()) {
+    std::cout << "\nperturbed: " << opt.perturb.to_string() << " ("
+              << opt.repetitions << " rep"
+              << (opt.repetitions == 1 ? "" : "s") << ")";
+  }
+  std::cout << "\n";
   t.print(std::cout);
   return 0;
 }
