@@ -10,6 +10,53 @@ namespace dpml::apps {
 using simmpi::Machine;
 using simmpi::Rank;
 
+namespace {
+
+// Named coroutines rather than lambda coroutines: a coroutine lambda's frame
+// refers back to the closure object, so captures dangle if the closure dies
+// before the frame does (dpmllint: coro-ref-capture). Parameters of a plain
+// coroutine function are copied into the frame and cannot dangle.
+sim::CoTask<void> mbw_mr_rank(Rank& r, MbwMrOptions opt, int total_msgs) {
+  Machine& m = r.machine();
+  // Sender i pairs with receiver i: on one node (senders = even locals
+  // paired with odd) or across two nodes (local i -> local i).
+  const int pairs = opt.pairs;
+  int peer = -1;
+  bool sender = false;
+  if (opt.intra_node) {
+    sender = r.local_rank() < pairs;
+    peer = sender ? r.local_rank() + pairs : r.local_rank() - pairs;
+  } else {
+    sender = r.node_id() == 0;
+    peer = sender ? m.ppn() + r.local_rank() : r.local_rank();
+  }
+  if (sender) {
+    for (int i = 0; i < total_msgs; ++i) {
+      co_await r.send(m.world(), peer, 0, opt.bytes);
+    }
+  } else {
+    for (int i = 0; i < total_msgs; ++i) {
+      co_await r.recv(m.world(), peer, 0, opt.bytes);
+    }
+  }
+}
+
+sim::CoTask<void> pingpong_rank(Rank& r, std::size_t bytes, int iterations) {
+  Machine& m = r.machine();
+  if (r.world_rank() > 1) co_return;
+  for (int i = 0; i < iterations; ++i) {
+    if (r.world_rank() == 0) {
+      co_await r.send(m.world(), 1, 0, bytes);
+      co_await r.recv(m.world(), 1, 1, bytes);
+    } else {
+      co_await r.recv(m.world(), 0, 0, bytes);
+      co_await r.send(m.world(), 0, 1, bytes);
+    }
+  }
+}
+
+}  // namespace
+
 MbwMrResult osu_mbw_mr(const net::ClusterConfig& cfg, const MbwMrOptions& opt) {
   DPML_CHECK(opt.pairs >= 1 && opt.window >= 1 && opt.iterations >= 1);
   simmpi::RunOptions ropt;
@@ -21,29 +68,7 @@ MbwMrResult osu_mbw_mr(const net::ClusterConfig& cfg, const MbwMrOptions& opt) {
   Machine m(cfg, nodes, ppn, ropt);
   const int total_msgs = opt.window * opt.iterations;
 
-  m.run([&](Rank& r) -> sim::CoTask<void> {
-    // Sender i pairs with receiver i: on one node (senders = even locals
-    // paired with odd) or across two nodes (local i -> local i).
-    const int pairs = opt.pairs;
-    int peer = -1;
-    bool sender = false;
-    if (opt.intra_node) {
-      sender = r.local_rank() < pairs;
-      peer = sender ? r.local_rank() + pairs : r.local_rank() - pairs;
-    } else {
-      sender = r.node_id() == 0;
-      peer = sender ? m.ppn() + r.local_rank() : r.local_rank();
-    }
-    if (sender) {
-      for (int i = 0; i < total_msgs; ++i) {
-        co_await r.send(m.world(), peer, 0, opt.bytes);
-      }
-    } else {
-      for (int i = 0; i < total_msgs; ++i) {
-        co_await r.recv(m.world(), peer, 0, opt.bytes);
-      }
-    }
-  });
+  m.run([&](Rank& r) { return mbw_mr_rank(r, opt, total_msgs); });
 
   MbwMrResult res;
   res.seconds = sim::to_seconds(m.now());
@@ -62,18 +87,7 @@ double osu_latency(const net::ClusterConfig& cfg, std::size_t bytes,
   // Intra-node pairs sit on the same socket (locals 0 and 1 at ppn >= 4).
   Machine m(cfg, intra_node ? 1 : 2,
             intra_node ? std::min(4, cfg.max_ppn()) : 1, ropt);
-  m.run([&](Rank& r) -> sim::CoTask<void> {
-    if (r.world_rank() > 1) co_return;
-    for (int i = 0; i < iterations; ++i) {
-      if (r.world_rank() == 0) {
-        co_await r.send(m.world(), 1, 0, bytes);
-        co_await r.recv(m.world(), 1, 1, bytes);
-      } else {
-        co_await r.recv(m.world(), 0, 0, bytes);
-        co_await r.send(m.world(), 0, 1, bytes);
-      }
-    }
-  });
+  m.run([&](Rank& r) { return pingpong_rank(r, bytes, iterations); });
   return sim::to_seconds(m.now()) / (2.0 * iterations);
 }
 

@@ -1,0 +1,210 @@
+// simcheck: MUST-style runtime MPI-semantics verification.
+//
+// A Checker is owned by a simmpi::Machine when RunOptions::check_level is
+// not `off`. It observes the transport (sends, receives, shared-memory
+// copies) and the core dispatch layer (collective entry/exit with argument
+// and buffer snapshots) as pure host-side bookkeeping — no simulated time is
+// ever charged, so a checked run's simulated clock is bit-identical to an
+// unchecked one. Detected violations throw CheckError with an actionable,
+// rank-attributed report and fail the run fast.
+//
+// What it catches (see docs/CHECKING.md for the rule catalogue):
+//   - unmatched sends (message delivered but never received)
+//   - leaked posted receives / wait-cycle deadlock, with a per-rank report
+//     of every blocked request and every queued-but-unreceived message
+//   - send/recv count- and datatype-mismatches inside reduction collectives
+//   - overlapping live communication buffers (send/recv/shm aliasing)
+//   - per-collective result verification against a serial reference fold in
+//     ascending comm-rank order — including non-commutative user ops
+//   - SPMD argument divergence across the ranks of one collective
+//   - (strict) capacity/bytes exactness, leaked collective slots, and
+//     unbalanced tracer begin/end spans
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "simmpi/message.hpp"
+
+namespace dpml::check {
+
+enum class CheckLevel : std::uint8_t { off, basic, strict };
+
+const char* check_level_name(CheckLevel level);
+// Accepts "off", "basic", "strict"; throws util::InvariantError otherwise.
+CheckLevel check_level_by_name(const std::string& name);
+
+// The collective kinds the checker verifies results for. Mirrors
+// coll::CollKind without depending on the coll layer (src/check sits below
+// it; core maps between the two at dispatch time).
+enum class CollOp : std::uint8_t { allreduce, reduce, bcast, alltoall };
+
+const char* coll_op_name(CollOp op);
+
+struct Violation {
+  std::string rule;     // e.g. "unmatched-send", "result-mismatch"
+  int rank = -1;        // world rank, -1 when not rank-specific
+  std::string context;  // op/callsite context, e.g. "allreduce/dpml(l=4)"
+  std::string message;  // one actionable sentence
+
+  std::string format() const;
+};
+
+class CheckError : public std::runtime_error {
+ public:
+  CheckError(std::string report, std::vector<Violation> violations);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+// RAII registration of a live communication buffer (the span a send is
+// reading or a receive is writing). Released on destruction, so coroutine
+// frames release at co_return/unwind automatically.
+class Checker;
+class BufferLease {
+ public:
+  BufferLease() = default;
+  BufferLease(Checker* ck, int rank, int id) : ck_(ck), rank_(rank), id_(id) {}
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+  BufferLease(BufferLease&& o) noexcept { *this = std::move(o); }
+  BufferLease& operator=(BufferLease&& o) noexcept;
+  ~BufferLease() { release(); }
+  void release();
+
+ private:
+  Checker* ck_ = nullptr;
+  int rank_ = -1;
+  int id_ = -1;
+};
+
+class Checker {
+ public:
+  Checker(CheckLevel level, bool with_data, int world_size);
+
+  CheckLevel level() const { return level_; }
+  bool strict() const { return level_ == CheckLevel::strict; }
+
+  // ---- transport hooks (simmpi::Machine) ----
+
+  // Called at blocking-send entry. Validates count integrity against the
+  // sender's current reduction dtype (if any).
+  void on_send(int src, int dst, int ctx, int tag, std::size_t bytes);
+
+  // Register a live buffer span; conflicts (overlap with another live span
+  // where either side writes) throw. Empty spans return an inert lease.
+  BufferLease acquire_read(int rank, simmpi::ConstBytes span, const char* what,
+                           int ctx, int tag);
+  BufferLease acquire_write(int rank, simmpi::MutBytes span, const char* what,
+                            int ctx, int tag);
+
+  // Called when a receive completes (payload delivered, before the receive
+  // returns). Validates datatype agreement between sender and receiver and
+  // count integrity; strict additionally requires the posted capacity to
+  // equal the delivered byte count.
+  void on_recv_complete(int rank, int ctx, const simmpi::PostedRecv& pr);
+
+  // The sender-side dtype annotation stamped into envelopes: the innermost
+  // reduction collective this rank is currently inside, or -1.
+  int current_dtype(int rank) const;
+
+  // ---- collective hooks (core::run_collective) ----
+
+  // Registers this rank's entry into a collective on `ctx` and snapshots its
+  // input vector. Returns a token to pass to end_collective. Invocations are
+  // matched across ranks by per-(rank, ctx) call sequence, which SPMD
+  // execution keeps consistent; argument divergence between ranks of one
+  // invocation is itself a violation.
+  std::uint64_t begin_collective(CollOp op_kind, int world_rank, int ctx,
+                                 const std::string& label, int parties,
+                                 int comm_rank, int root, std::size_t count,
+                                 simmpi::Dtype dt, const simmpi::Op& op,
+                                 simmpi::ConstBytes input);
+  // Registers exit; when the last party exits, the invocation's outputs are
+  // verified against a serial reference computed from the entry snapshots.
+  void end_collective(int world_rank, std::uint64_t token,
+                      simmpi::ConstBytes output);
+
+  // ---- end-of-run hooks (simmpi::Machine::run) ----
+
+  // Record one rank's matcher state after the engine drained (or
+  // deadlocked): leaked unexpected envelopes and still-posted receives.
+  void note_endpoint_state(int rank, const simmpi::Matcher& matcher);
+
+  // Final verdict. `deadlocked` augments the engine's deadlock error with
+  // the per-rank blocked-request report; `live_slots` and
+  // `open_trace_spans` feed the strict-only leak checks. Throws CheckError
+  // if any violation accumulated.
+  void finalize(bool deadlocked, const std::string& deadlock_what,
+                std::size_t live_slots, std::size_t open_trace_spans);
+
+  // Immediately fail the run with one violation (fail-fast path).
+  [[noreturn]] void fail(Violation v) const;
+
+ private:
+  struct LiveBuffer {
+    const std::byte* lo = nullptr;
+    const std::byte* hi = nullptr;
+    bool writable = false;
+    const char* what = "";
+    int ctx = 0;
+    int tag = 0;
+    bool active = false;
+  };
+
+  struct OpenColl {
+    int ctx = 0;
+    std::uint64_t seq = 0;
+    int dtype = -1;  // annotation for p2p traffic; -1 for byte-oblivious kinds
+  };
+
+  struct Party {
+    bool entered = false;
+    bool exited = false;
+    int world_rank = -1;
+    std::vector<std::byte> input;
+    std::vector<std::byte> output;
+  };
+
+  struct CollRecord {
+    CollOp op_kind = CollOp::allreduce;
+    std::string label;
+    int parties = 0;
+    int root = 0;
+    std::size_t count = 0;
+    simmpi::Dtype dt = simmpi::Dtype::f32;
+    simmpi::Op op = simmpi::ReduceOp::sum;
+    std::vector<Party> party;
+    int entered = 0;
+    int exited = 0;
+  };
+
+  friend class BufferLease;
+  void release_buffer(int rank, int id);
+
+  BufferLease acquire(int rank, const std::byte* data, std::size_t size,
+                      bool writable, const char* what, int ctx, int tag);
+  std::string label_of(int rank) const;  // innermost collective label or ""
+  void verify_collective(int ctx, std::uint64_t seq, const CollRecord& rec);
+
+  CheckLevel level_;
+  bool with_data_;
+  int world_size_;
+
+  std::vector<std::vector<LiveBuffer>> live_;       // per rank
+  std::vector<std::vector<OpenColl>> open_;         // per rank, nesting stack
+  std::map<std::pair<int, int>, std::uint64_t> enter_seq_;  // (ctx, rank)
+  std::map<std::pair<int, std::uint64_t>, CollRecord> records_;
+  std::vector<Violation> deferred_;  // finalize-time accumulation
+};
+
+}  // namespace dpml::check

@@ -3,8 +3,11 @@
 // Every algorithm is a coroutine invoked by all participating ranks with
 // identical arguments (SPMD style, like an MPI collective). Buffers may be
 // empty in metadata-only runs; simulated time is charged identically either
-// way. All reduction operators are assumed associative and commutative (as
-// the paper's MPI_SUM / MPI_FLOAT evaluation setup is).
+// way. All reduction operators are assumed associative (as MPI requires);
+// ops may be non-commutative (Op::commutative() == false), in which case
+// every algorithm folds operands in ascending comm-rank order — either
+// directly (Op::apply_left at the order-sensitive folds) or by falling back
+// to an order-preserving algorithm, exactly as real MPI libraries do.
 #pragma once
 
 #include <cstddef>

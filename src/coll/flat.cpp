@@ -29,17 +29,22 @@ int floor_pow2(int p) {
 constexpr int kEpilogueTag = 120;
 
 // Exchange full vectors with `partner` and fold the incoming one into
-// a.recv (commutative op). Uses isend+recv to avoid rendezvous deadlock on
-// symmetric exchanges.
+// a.recv. `partner_left` says the partner's contribution covers comm ranks
+// *preceding* mine, so non-commutative ops fold it on the left. Uses
+// isend+recv to avoid rendezvous deadlock on symmetric exchanges.
 sim::CoTask<void> exchange_reduce(const CollArgs& a, int partner, int tag,
-                                  MutBytes tmp) {
+                                  MutBytes tmp, bool partner_left) {
   Rank& r = *a.rank;
   const std::size_t nbytes = a.bytes();
   auto sf = r.isend(*a.comm, partner, tag, nbytes, as_const(a.recv));
   co_await r.recv(*a.comm, partner, tag, nbytes, tmp);
   co_await sf->wait();
   co_await r.reduce_compute(nbytes);
-  a.op.apply(a.dt, a.count, a.recv, as_const(MutBytes{tmp}));
+  if (partner_left) {
+    a.op.apply_left(a.dt, a.count, a.recv, as_const(MutBytes{tmp}));
+  } else {
+    a.op.apply(a.dt, a.count, a.recv, as_const(MutBytes{tmp}));
+  }
 }
 
 }  // namespace
@@ -68,7 +73,8 @@ sim::CoTask<void> allreduce_recursive_doubling(CollArgs a) {
     } else {
       co_await r.recv(c, me - 1, a.tag_base, nbytes, tmp);
       co_await r.reduce_compute(nbytes);
-      a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
+      // The neighbour's vector covers comm rank me-1 < me: fold on the left.
+      a.op.apply_left(a.dt, a.count, a.recv, as_const(tmp));
       newrank = me / 2;
     }
   } else {
@@ -80,7 +86,10 @@ sim::CoTask<void> allreduce_recursive_doubling(CollArgs a) {
     for (int mask = 1; mask < pof2; mask <<= 1, ++step) {
       const int npartner = newrank ^ mask;
       const int partner = npartner < rem ? npartner * 2 + 1 : npartner + rem;
-      co_await exchange_reduce(a, partner, a.tag_base + step, tmp);
+      // newrank order preserves comm-rank block order, so the partner's
+      // accumulated block precedes mine iff npartner < newrank.
+      co_await exchange_reduce(a, partner, a.tag_base + step, tmp,
+                               npartner < newrank);
     }
   }
 
@@ -96,6 +105,16 @@ sim::CoTask<void> allreduce_recursive_doubling(CollArgs a) {
 
 sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a) {
   a.check();
+  // Recursive vector halving pairs ranks at distance pof2/2 *first*, so
+  // after the very first exchange a rank's accumulated operand set is
+  // non-contiguous in comm-rank order ({me, me + pof2/2}); no left/right
+  // fold discipline can recover the serial order from there. MPICH draws
+  // the same line: reduce-scatter + allgather only for commutative ops,
+  // recursive doubling (contiguous blocks at every step) otherwise.
+  if (!a.op.commutative()) {
+    co_await allreduce_recursive_doubling(std::move(a));
+    co_return;
+  }
   Rank& r = *a.rank;
   const Comm& c = *a.comm;
   const int me = c.rank_of_world(r.world_rank());
@@ -118,6 +137,8 @@ sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a) {
     } else {
       co_await r.recv(c, me - 1, a.tag_base, nbytes, tmp);
       co_await r.reduce_compute(nbytes);
+      // Only commutative ops reach here (non-commutative forwarded above),
+      // so operand order is free.
       a.op.apply(a.dt, a.count, a.recv, as_const(tmp));
       newrank = me / 2;
     }
@@ -211,6 +232,15 @@ sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a) {
 
 sim::CoTask<void> allreduce_ring(CollArgs a) {
   a.check();
+  // The ring's reduce-scatter folds each block in rotation order starting
+  // from a different rank per block, which cannot preserve ascending
+  // comm-rank operand order. Fall back the way MPICH does for
+  // non-commutative ops: recursive doubling keeps every rank's accumulated
+  // operand set contiguous in comm-rank order.
+  if (!a.op.commutative()) {
+    co_await allreduce_recursive_doubling(std::move(a));
+    co_return;
+  }
   Rank& r = *a.rank;
   const Comm& c = *a.comm;
   const int me = c.rank_of_world(r.world_rank());

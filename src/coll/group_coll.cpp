@@ -283,6 +283,10 @@ void ReduceScatterArgs::check() const {
                  "ReduceScatterArgs missing rank/comm");
   DPML_CHECK(send.empty() || send.size() == total_bytes());
   DPML_CHECK(recv.empty() || recv.size() == block_bytes());
+  DPML_CHECK_MSG(op.commutative(),
+                 "reduce_scatter_ring folds blocks in rotation order and "
+                 "cannot honour ascending comm-rank order for "
+                 "non-commutative ops");
 }
 
 sim::CoTask<void> reduce_scatter_ring(ReduceScatterArgs a) {

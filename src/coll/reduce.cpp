@@ -115,8 +115,13 @@ sim::CoTask<void> reduce_binomial(ReduceArgs a) {
   if (p == 1) co_return;
   auto tmp_store = a.scratch(nbytes);
   MutBytes tmp{tmp_store};
-  const int vrank = (me - a.root + p) % p;
-  auto actual = [&](int v) { return (v + a.root) % p; };
+  // The usual vrank rotation makes the root the tree head but folds wrapped
+  // rank blocks out of order. Non-commutative ops with root != 0 instead run
+  // the tree in natural comm-rank order toward rank 0 (every fold is then
+  // acc (op) later-block) and forward the result to the root afterwards.
+  const bool rotate = a.op.commutative() || a.root == 0;
+  const int vrank = rotate ? (me - a.root + p) % p : me;
+  auto actual = [&](int v) { return rotate ? (v + a.root) % p : v; };
 
   int step = 0;
   for (int mask = 1; mask < p; mask <<= 1, ++step) {
@@ -131,10 +136,23 @@ sim::CoTask<void> reduce_binomial(ReduceArgs a) {
       a.op.apply(a.dt, a.count, acc, as_const(tmp));
     }
   }
+  if (!rotate) {
+    if (me == 0) {
+      co_await r.send(c, a.root, a.tag_base + 60, nbytes, as_const(acc));
+    } else if (am_root) {
+      co_await r.recv(c, 0, a.tag_base + 60, nbytes, acc);
+    }
+  }
 }
 
 sim::CoTask<void> reduce_rsa_gather(ReduceArgs a) {
   a.check();
+  // The ring reduce-scatter folds each block in rotation order, which cannot
+  // preserve ascending comm-rank operand order. MPICH-style fallback.
+  if (!a.op.commutative()) {
+    co_await reduce_binomial(std::move(a));
+    co_return;
+  }
   Rank& r = *a.rank;
   const Comm& c = *a.comm;
   const int me = c.rank_of_world(r.world_rank());
@@ -251,9 +269,11 @@ sim::CoTask<void> reduce_single_leader(ReduceArgs a) {
       co_await r.send(c, a.root, a.tag_base + 7, nbytes, as_const(acc));
     }
   } else {
+    // In-place input is in recv on EVERY rank (see prepare_acc), not just
+    // the root; reading send here striped empty buffers in data mode.
     co_await r.shm_put(slot.windows[0],
                        static_cast<std::size_t>(r.local_rank() - 1) * nbytes,
-                       nbytes, a.inplace && am_root ? as_const(a.recv) : a.send);
+                       nbytes, a.inplace ? as_const(a.recv) : a.send);
     co_await r.signal(slot.latches[0]);
     if (am_root) {
       co_await r.recv(c, c.rank_of_world(r.node_id() * ppn), a.tag_base + 7,
@@ -300,8 +320,9 @@ sim::CoTask<void> reduce_dpml(ReduceArgs a, DpmlParams params) {
   }
   sim::Latch& gathered = slot.latches[0];
 
-  // Phase 1: everyone stripes its input into the leaders' windows.
-  const ConstBytes input = a.inplace && am_root ? as_const(a.recv) : a.send;
+  // Phase 1: everyone stripes its input into the leaders' windows. In-place
+  // input is in recv on EVERY rank (see prepare_acc), not just the root.
+  const ConstBytes input = a.inplace ? as_const(a.recv) : a.send;
   for (int j = 0; j < l; ++j) {
     const Part pj = partition(a.count, l, j);
     const std::size_t pbytes = pj.count * esize;

@@ -66,8 +66,10 @@ sim::CoTask<void> allreduce_sharp(CollArgs a, sharp::SharpFabric& fabric,
   const std::size_t nbytes = a.bytes();
 
   // Payloads beyond the aggregation hardware's limit fall back to the
-  // host-based path (the paper only uses SHArP for small messages).
-  if (!fabric.supports(nbytes)) {
+  // host-based path (the paper only uses SHArP for small messages). The
+  // fabric also aggregates contributions in arrival order, which cannot
+  // honour the ascending comm-rank fold non-commutative ops require.
+  if (!fabric.supports(nbytes) || !a.op.commutative()) {
     co_await allreduce_single_leader(std::move(a), InterAlgo::automatic);
     co_return;
   }

@@ -160,11 +160,40 @@ void warn_leader_clamp(CollKind kind, const std::string& algo, int requested,
                         << " leaders from " << requested << " to ppn=" << ppn);
 }
 
-// Tracing/perturbation wrapper: applies arrival skew before the rank's
-// outermost collective entry, records the participation as a span, and
-// accumulates per-(kind, label) latency and imbalance stats. Only
-// instantiated while the machine traces or perturbs, so the common path
-// pays nothing for attribution.
+// simcheck's view of a collective kind (the checker sits below src/coll and
+// defines its own mirror enum).
+check::CollOp to_check_op(CollKind kind) {
+  switch (kind) {
+    case CollKind::allreduce: return check::CollOp::allreduce;
+    case CollKind::reduce: return check::CollOp::reduce;
+    case CollKind::bcast: return check::CollOp::bcast;
+    case CollKind::alltoall: return check::CollOp::alltoall;
+  }
+  return check::CollOp::allreduce;
+}
+
+// The span a rank contributes to a collective (what a serial reference
+// reduction folds): allreduce/reduce read send (or recv when in-place),
+// bcast reads the root's buffer, alltoall reads the p send blocks.
+coll::ConstBytes check_input_of(CollKind kind, const coll::CollArgs& args) {
+  switch (kind) {
+    case CollKind::allreduce:
+    case CollKind::reduce:
+      return args.inplace ? coll::as_const(args.recv) : args.send;
+    case CollKind::bcast:
+      return coll::as_const(args.recv);
+    case CollKind::alltoall:
+      return args.send;
+  }
+  return {};
+}
+
+// Tracing/perturbation/checking wrapper: applies arrival skew before the
+// rank's outermost collective entry, records the participation as a span,
+// accumulates per-(kind, label) latency and imbalance stats, and notifies
+// the semantics checker of entry/exit (with input/output snapshots). Only
+// instantiated while the machine traces, perturbs, or checks, so the common
+// path pays nothing for attribution.
 sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
                                  coll::CollArgs args, CollSpec spec,
                                  std::string label) {
@@ -172,6 +201,18 @@ sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
   simmpi::Machine& m = r.machine();
   const int world_rank = r.world_rank();
   const int parties = args.comm->size();
+  const int comm_rank = args.comm->rank_of_world(world_rank);
+
+  // Snapshot the spans before `args` is moved into the algorithm coroutine.
+  check::Checker* ck = comm_rank >= 0 ? m.checker() : nullptr;
+  const coll::ConstBytes check_in = check_input_of(d.kind, args);
+  const coll::ConstBytes check_out = coll::as_const(args.recv);
+  std::uint64_t check_token = 0;
+  if (ck != nullptr) {
+    check_token = ck->begin_collective(
+        to_check_op(d.kind), world_rank, args.comm->context(), label, parties,
+        comm_rank, args.root, args.count, args.dt, args.op, check_in);
+  }
 
   // Arrival skew delays this rank's entry into its *outermost* collective
   // only: algorithms dispatched from inside another collective (dpml-auto,
@@ -191,6 +232,7 @@ sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
   co_await d.make(std::move(args), spec);
   const sim::Time end = m.now();
   if (pt != nullptr) pt->exit_collective(world_rank);
+  if (ck != nullptr) ck->end_collective(world_rank, check_token, check_out);
   const char* kind = coll::coll_kind_name(d.kind);
   m.trace(label.c_str(), kind, world_rank, start, end);
   const std::string key = std::string(kind) + "/" + label;
@@ -233,7 +275,7 @@ sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
     s.leaders = m.ppn();
   }
 
-  if (!m.tracing() && m.perturbation() == nullptr) {
+  if (!m.tracing() && m.perturbation() == nullptr && m.checker() == nullptr) {
     // Direct hand-off: the descriptor's coroutine is the collective, with
     // no wrapper frame — simulated times are identical to calling the
     // src/coll implementation directly.

@@ -70,6 +70,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
   simmpi::RunOptions ropt;
   ropt.with_data = opt.with_data;
   ropt.seed = opt.seed;
+  ropt.check_level = opt.check;
   ropt.perturb = opt.perturb;
   ropt.perturb.seed = opt.perturb.seed + static_cast<std::uint64_t>(rep);
   simmpi::Machine machine(cfg, nodes, ppn, ropt);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "core/api.hpp"
 #include "net/cluster.hpp"
 #include "perturb/spec.hpp"
@@ -32,6 +33,9 @@ struct MeasureOptions {
   simmpi::Dtype dt = simmpi::Dtype::f32;   // paper: MPI_FLOAT
   simmpi::ReduceOp op = simmpi::ReduceOp::sum;  // paper: MPI_SUM
   int root = 0;  // rooted kinds (reduce/bcast) only
+  // MPI-semantics verification for every repetition's machine (simcheck).
+  // A checked run's simulated times are identical to an unchecked one.
+  check::CheckLevel check = check::CheckLevel::off;
 };
 
 struct MeasureResult {

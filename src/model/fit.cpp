@@ -12,6 +12,24 @@ namespace {
 using simmpi::Machine;
 using simmpi::Rank;
 
+// Named coroutines rather than lambda coroutines: a coroutine lambda's frame
+// refers back to the closure object, so captures dangle if the closure dies
+// before the frame does (dpmllint: coro-ref-capture). Parameters of a plain
+// coroutine function are copied into the frame and cannot dangle.
+sim::CoTask<void> pingpong_rank(Rank& r, std::size_t bytes, int iters) {
+  const auto& world = r.machine().world();
+  if (r.world_rank() > 1) co_return;  // only the measured pair participates
+  for (int i = 0; i < iters; ++i) {
+    if (r.world_rank() == 0) {
+      co_await r.send(world, 1, 0, bytes);
+      co_await r.recv(world, 1, 1, bytes);
+    } else {
+      co_await r.recv(world, 0, 0, bytes);
+      co_await r.send(world, 0, 1, bytes);
+    }
+  }
+}
+
 // One-way latency of a `bytes` message between two ranks, measured by a
 // pingpong halved (standard osu_latency methodology).
 double p2p_latency(const net::ClusterConfig& cfg, std::size_t bytes,
@@ -23,20 +41,20 @@ double p2p_latency(const net::ClusterConfig& cfg, std::size_t bytes,
   // a'/b' constants are defined.
   Machine m(cfg, intra_node ? 1 : 2,
             intra_node ? std::min(4, cfg.max_ppn()) : 1, opt);
-  const int peer_of_0 = 1;
-  m.run([&](Rank& r) -> sim::CoTask<void> {
-    if (r.world_rank() > 1) co_return;  // only the measured pair participates
-    for (int i = 0; i < iters; ++i) {
-      if (r.world_rank() == 0) {
-        co_await r.send(m.world(), peer_of_0, 0, bytes);
-        co_await r.recv(m.world(), peer_of_0, 1, bytes);
-      } else {
-        co_await r.recv(m.world(), 0, 0, bytes);
-        co_await r.send(m.world(), 0, 1, bytes);
-      }
-    }
-  });
+  m.run([&](Rank& r) { return pingpong_rank(r, bytes, iters); });
   return sim::to_seconds(m.now()) / (2.0 * iters);
+}
+
+sim::CoTask<void> stream_rank(Rank& r, std::size_t bytes, int msgs) {
+  const auto& world = r.machine().world();
+  if (r.world_rank() > 1) co_return;  // only the measured pair participates
+  for (int i = 0; i < msgs; ++i) {
+    if (r.world_rank() == 0) {
+      co_await r.send(world, 1, 0, bytes);
+    } else {
+      co_await r.recv(world, 0, 0, bytes);
+    }
+  }
 }
 
 // Per-byte streaming cost: back-to-back sends of a large message, one pair.
@@ -46,18 +64,12 @@ double p2p_per_byte(const net::ClusterConfig& cfg, std::size_t bytes,
   opt.with_data = false;
   Machine m(cfg, intra_node ? 1 : 2,
             intra_node ? std::min(4, cfg.max_ppn()) : 1, opt);
-  const int peer_of_0 = 1;
-  m.run([&](Rank& r) -> sim::CoTask<void> {
-    if (r.world_rank() > 1) co_return;  // only the measured pair participates
-    for (int i = 0; i < msgs; ++i) {
-      if (r.world_rank() == 0) {
-        co_await r.send(m.world(), peer_of_0, 0, bytes);
-      } else {
-        co_await r.recv(m.world(), 0, 0, bytes);
-      }
-    }
-  });
+  m.run([&](Rank& r) { return stream_rank(r, bytes, msgs); });
   return sim::to_seconds(m.now()) / (static_cast<double>(bytes) * msgs);
+}
+
+sim::CoTask<void> reduce_compute_rank(Rank& r, std::size_t bytes) {
+  co_await r.reduce_compute(bytes);
 }
 
 // Reduction cost per byte measured through Rank::reduce_compute.
@@ -65,9 +77,7 @@ double reduce_per_byte(const net::ClusterConfig& cfg, std::size_t bytes) {
   simmpi::RunOptions opt;
   opt.with_data = false;
   Machine m(cfg, 1, 1, opt);
-  m.run([&](Rank& r) -> sim::CoTask<void> {
-    co_await r.reduce_compute(bytes);
-  });
+  m.run([&](Rank& r) { return reduce_compute_rank(r, bytes); });
   return sim::to_seconds(m.now()) / static_cast<double>(bytes);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -102,6 +103,20 @@ void Op::apply(Dtype dt, std::size_t count, MutBytes acc, ConstBytes in) const {
     return;
   }
   reduce_inplace(builtin_, dt, count, acc, in);
+}
+
+void Op::apply_left(Dtype dt, std::size_t count, MutBytes acc,
+                    ConstBytes in) const {
+  if (commutative()) {
+    apply(dt, count, acc, in);
+    return;
+  }
+  if (acc.empty() && in.empty()) return;
+  // tmp = in, tmp = tmp (op) acc, acc = tmp.
+  std::vector<std::byte> tmp(in.begin(), in.end());
+  user_(dt, count, MutBytes{tmp}, ConstBytes{acc.data(), acc.size()});
+  DPML_CHECK(tmp.size() == acc.size());
+  std::memcpy(acc.data(), tmp.data(), tmp.size());
 }
 
 std::string Op::name() const {

@@ -38,20 +38,38 @@ using UserOpFn =
 
 // An operator handle: either a builtin ReduceOp or a user function.
 // Builtin ops on band/bor over floating types throw.
+//
+// MPI semantics: every reduction op is assumed associative; user ops may
+// additionally be declared non-commutative (MPI_Op_create's commute flag).
+// For non-commutative ops the collectives must fold operands in ascending
+// comm-rank order — algorithms that cannot preserve that order fall back to
+// ones that can, exactly as real MPI libraries do.
 class Op {
  public:
   Op(ReduceOp builtin) : builtin_(builtin) {}  // NOLINT: implicit by design
-  explicit Op(UserOpFn fn) : user_(std::move(fn)) {}
+  explicit Op(UserOpFn fn, bool commutative = true)
+      : user_(std::move(fn)), commutative_(commutative) {}
 
   bool is_user() const { return static_cast<bool>(user_); }
   ReduceOp builtin() const { return builtin_; }
+  // All builtin ops are commutative; user ops declare it at construction.
+  bool commutative() const { return !user_ || commutative_; }
 
+  // acc = acc (op) in.
   void apply(Dtype dt, std::size_t count, MutBytes acc, ConstBytes in) const;
+  // acc = in (op) acc — the mirrored application an algorithm needs when the
+  // incoming operand covers ranks *preceding* the accumulator's in comm-rank
+  // order. For commutative ops this is exactly apply(); for non-commutative
+  // user ops it stages `in` into a temporary so the left/right roles are
+  // preserved bit-for-bit.
+  void apply_left(Dtype dt, std::size_t count, MutBytes acc,
+                  ConstBytes in) const;
   std::string name() const;
 
  private:
   ReduceOp builtin_ = ReduceOp::sum;
   UserOpFn user_{};
+  bool commutative_ = true;
 };
 
 }  // namespace dpml::simmpi

@@ -228,6 +228,10 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
     perturb_ =
         std::make_unique<perturb::Perturbation>(opt_.perturb, world_size());
   }
+  if (opt_.check_level != check::CheckLevel::off) {
+    checker_ = std::make_unique<check::Checker>(opt_.check_level,
+                                                opt_.with_data, world_size());
+  }
 }
 
 void Machine::enable_trace() {
@@ -435,7 +439,28 @@ double Machine::avg_rx_utilization() const {
 
 void Machine::run(const std::function<sim::CoTask<void>(Rank&)>& main) {
   for (auto& r : ranks_) engine_.spawn(main(r));
-  engine_.run();
+  if (checker_ == nullptr) {
+    engine_.run();
+    return;
+  }
+  // Checked run: intercept the engine's deadlock diagnosis so the checker
+  // can augment it with a per-rank blocked-request report, then sweep every
+  // endpoint for leaked requests and render the final verdict.
+  bool deadlocked = false;
+  std::string deadlock_what;
+  try {
+    engine_.run();
+  } catch (const util::DeadlockError& e) {
+    deadlocked = true;
+    deadlock_what = e.what();
+  }
+  for (auto& r : ranks_) {
+    checker_->note_endpoint_state(r.world_rank(), r.matcher());
+  }
+  std::size_t slots = 0;
+  for (const Node& n : nodes_) slots += n.live_slots();
+  checker_->finalize(deadlocked, deadlock_what, slots,
+                     tracer_ ? tracer_->open_count() : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +485,20 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   const net::HostModel& host = cfg_.host;
   const net::NicModel& nic = cfg_.nic;
   const int src_world = sender.world_rank();
+
+  // simcheck: validate the send against the current reduction dtype, hold a
+  // read lease on the payload span for the duration of the blocking send
+  // (MPI forbids touching the buffer until the send returns), and stamp the
+  // dtype annotation that receivers check against. Host-side only: no
+  // simulated time is charged.
+  check::Checker* ck = checker_.get();
+  check::BufferLease send_lease;
+  int send_dtype = -1;
+  if (ck != nullptr) {
+    ck->on_send(src_world, dst_world, ctx, tag, bytes);
+    send_lease = ck->acquire_read(src_world, data, "send", ctx, tag);
+    send_dtype = ck->current_dtype(src_world);
+  }
 
   auto deliver_at = [this, dst_world](Time t, Envelope env) {
     engine_.schedule_fn(t, [this, dst_world, env = std::move(env)]() mutable {
@@ -497,6 +536,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.bytes = bytes;
     env.data = own_copy(data);
     env.recv_cost = host.flag_latency;
+    env.dtype = send_dtype;
     deliver_at(done + host.flag_latency, std::move(env));
     co_await engine_.until(done);
     co_return;
@@ -548,6 +588,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.bytes = bytes;
     env.data = own_copy(data);
     env.recv_cost = nic.o_recv;
+    env.dtype = send_dtype;
     route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
           [deliver_at, env = std::move(env)](Time rx_done) mutable {
             deliver_at(rx_done, std::move(env));
@@ -572,6 +613,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     rts.bytes = bytes;
     rts.recv_cost = nic.o_recv;
     rts.rendezvous = true;
+    rts.dtype = send_dtype;
     rts.on_match = [this, state, src_node, dst_node](PostedRecv& pr) {
       state->pr = &pr;
       // CTS control message back to the sender (receiver-side overhead plus
@@ -625,6 +667,15 @@ sim::CoTask<RecvResult> Machine::do_recv(Rank& receiver, int src_world,
                                          std::size_t capacity, MutBytes out) {
   DPML_CHECK_MSG(out.empty() || out.size() >= capacity,
                  "recv buffer smaller than stated capacity");
+  // simcheck: hold a write lease on the destination span while the receive
+  // is outstanding; any other live operation touching it is a violation.
+  check::Checker* ck = checker_.get();
+  check::BufferLease recv_lease;
+  if (ck != nullptr && !out.empty()) {
+    recv_lease = ck->acquire_write(receiver.world_rank(),
+                                   out.first(std::min(capacity, out.size())),
+                                   "recv", ctx, tag);
+  }
   PostedRecv pr;
   pr.ctx = ctx;
   pr.src = src_world;
@@ -649,6 +700,9 @@ sim::CoTask<RecvResult> Machine::do_recv(Rank& receiver, int src_world,
         ", tag=" + std::to_string(pr.recv_tag) + ") but " +
         std::to_string(pr.recv_bytes) + " arrived");
   }
+  if (ck != nullptr) {
+    ck->on_recv_complete(receiver.world_rank(), ctx, pr);
+  }
   co_return RecvResult{pr.recv_bytes, pr.recv_src, pr.recv_tag};
 }
 
@@ -659,6 +713,14 @@ sim::CoTask<void> Machine::do_shm_copy(Rank& r, ShmWindow& w,
   DPML_CHECK_MSG(offset + bytes <= w.size(), "window copy out of range");
   DPML_CHECK(src.empty() || src.size() == bytes);
   DPML_CHECK(dst.empty() || dst.size() == bytes);
+  // simcheck: the user-side span is live for the duration of the copy.
+  check::BufferLease shm_lease;
+  if (checker_ != nullptr) {
+    shm_lease = is_put ? checker_->acquire_read(r.world_rank(), src, "shm-put",
+                                                0, 0)
+                       : checker_->acquire_write(r.world_rank(), dst,
+                                                 "shm-get", 0, 0);
+  }
   const net::HostModel& host = cfg_.host;
   const bool xsock = r.socket() != w.owner_socket();
   const double bw = xsock ? host.copy_bw_xsocket : host.copy_bw;

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
 #include "net/cluster.hpp"
 #include "net/topology.hpp"
 #include "perturb/perturb.hpp"
@@ -43,6 +44,11 @@ struct RunOptions {
   // perturbation runtime at all: every charge path is bit-identical to a
   // machine constructed before this field existed.
   perturb::PerturbSpec perturb;
+  // MPI-semantics verification (simcheck). `off` constructs no checker and
+  // leaves every path byte-identical; `basic`/`strict` attach a
+  // check::Checker whose hooks are pure host-side bookkeeping, so even
+  // checked runs report identical simulated times.
+  check::CheckLevel check_level = check::CheckLevel::off;
 };
 
 struct RecvResult {
@@ -277,6 +283,9 @@ class Machine {
   // code.
   perturb::Perturbation* perturbation() const { return perturb_.get(); }
 
+  // The semantics checker, or nullptr when RunOptions::check_level is off.
+  check::Checker* checker() const { return checker_.get(); }
+
   // Per-collective arrival/exit imbalance, keyed like collective_stats().
   // Populated by core::run_collective while tracing or a perturbation is
   // active.
@@ -325,6 +334,7 @@ class Machine {
   ImbalanceTracker imbalance_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<perturb::Perturbation> perturb_;
+  std::unique_ptr<check::Checker> checker_;
 
   // Per-leaf fat-tree uplink/downlink pools (empty when the core is
   // modelled as non-blocking, i.e. oversubscription == 1).

@@ -12,6 +12,7 @@ void Matcher::complete(PostedRecv& pr, Envelope& env) {
   pr.recv_tag = env.tag;
   pr.recv_cost = env.recv_cost;
   pr.truncated = env.bytes > pr.capacity;
+  pr.recv_dtype = env.dtype;
   if (env.rendezvous) {
     // Hand control to the sender-side continuation: it sends CTS, moves the
     // payload, and posts pr.done at delivery time.

@@ -30,6 +30,9 @@ struct Envelope {
   std::vector<std::byte> data;  // payload (empty in metadata-only runs)
   sim::Time recv_cost = 0;      // receiver-side overhead charged after match
   bool rendezvous = false;
+  // simcheck annotation: the sender's reduction dtype at send time (a
+  // simmpi::Dtype value), or -1 when unchecked / outside a reduction.
+  int dtype = -1;
   // Rendezvous only: invoked at match time; sends CTS and schedules the
   // payload transfer, which eventually posts the receive's done flag.
   std::function<void(PostedRecv&)> on_match;
@@ -48,6 +51,7 @@ struct PostedRecv {
   int recv_tag = -1;
   sim::Time recv_cost = 0;
   bool truncated = false;
+  int recv_dtype = -1;  // simcheck: the matched envelope's dtype annotation
 };
 
 class Matcher {
@@ -65,6 +69,11 @@ class Matcher {
   const Envelope* peek(int ctx, int src, int tag) const;
   // One-shot notification on the next unexpected arrival (blocking probe).
   void watch_arrivals(sim::Flag* f) { watchers_.push_back(f); }
+
+  // simcheck end-of-run inspection: leaked unexpected envelopes and
+  // still-posted (never-matched) receives.
+  const std::deque<Envelope>& unexpected() const { return unexpected_; }
+  const std::deque<PostedRecv*>& posted() const { return posted_; }
 
  private:
   static bool matches(const PostedRecv& pr, const Envelope& env) {

@@ -35,6 +35,31 @@ class Tracer {
                           end});
   }
 
+  // Open-span API: begin() pushes onto the rank's stack, end() pops the
+  // innermost open span and commits it. simcheck's strict mode asserts
+  // open_count() == 0 at finalize (every begin has an end).
+  void begin(std::string name, std::string category, int rank,
+             sim::Time start) {
+    open_[rank].push_back(
+        Span{std::move(name), std::move(category), rank, start, start});
+  }
+  // Returns false (and records nothing) when the rank has no open span.
+  bool end(int rank, sim::Time end_time) {
+    auto it = open_.find(rank);
+    if (it == open_.end() || it->second.empty()) return false;
+    Span s = std::move(it->second.back());
+    it->second.pop_back();
+    if (it->second.empty()) open_.erase(it);
+    s.end = end_time < s.start ? s.start : end_time;
+    spans_.push_back(std::move(s));
+    return true;
+  }
+  std::size_t open_count() const {
+    std::size_t n = 0;
+    for (const auto& [rank, stack] : open_) n += stack.size();
+    return n;
+  }
+
   const std::vector<Span>& spans() const { return spans_; }
   std::size_t size() const { return spans_.size(); }
   void clear() { spans_.clear(); }
@@ -58,6 +83,7 @@ class Tracer {
 
  private:
   std::vector<Span> spans_;
+  std::map<int, std::vector<Span>> open_;  // per-rank open-span stacks
   std::string process_name_;
   std::map<int, std::string> thread_names_;  // ordered: deterministic output
 };

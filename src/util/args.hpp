@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace dpml::util {
@@ -36,8 +36,9 @@ class Args {
 
  private:
   std::string program_;
-  std::unordered_map<std::string, std::string> flags_;
-  mutable std::unordered_map<std::string, bool> used_;
+  // Ordered: unused() reports typos in deterministic (sorted) order.
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> used_;
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,238 @@
+// dpmllint: rule behaviour on inline snippets, the intentionally-broken
+// fixtures under tests/lint_fixtures/, and the invariant the linter exists
+// to keep — the entire src/ tree lints clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using dpml::lint::Finding;
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::vector<Finding> lint(const std::string& src) {
+  return dpml::lint::lint_source("snippet.cpp", src);
+}
+
+// ---------------------------------------------------------------------------
+// Masking
+
+TEST(LintMasking, CommentsAndStringsNeverFire) {
+  EXPECT_TRUE(lint("// rand() in a comment\n").empty());
+  EXPECT_TRUE(lint("/* std::random_device in a block\n   comment */\n").empty());
+  EXPECT_TRUE(lint("const char* s = \"rand() time(nullptr)\";\n").empty());
+  EXPECT_TRUE(lint("const char* s = R\"(rand() inside raw)\";\n").empty());
+  EXPECT_TRUE(lint("const char* s = \"escaped \\\" rand() \";\n").empty());
+}
+
+TEST(LintMasking, LineNumbersSurviveMasking) {
+  const auto fs = lint("int a;\n/* long\ncomment */\nint b = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "raw-random");
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// raw-random / wall-clock
+
+TEST(LintRandom, IdentifierBoundariesRespected) {
+  EXPECT_TRUE(lint("int x = operand(3);\n").empty());   // not rand(
+  EXPECT_TRUE(lint("int strand(int);\n").empty());      // not rand(
+  EXPECT_EQ(count_rule(lint("int x = rand();\n"), "raw-random"), 1);
+  EXPECT_EQ(count_rule(lint("std::random_device rd;\n"), "raw-random"), 1);
+  EXPECT_EQ(count_rule(lint("auto t = time(nullptr);\n"), "wall-clock"), 1);
+  EXPECT_EQ(
+      count_rule(lint("auto t = std::chrono::steady_clock::now();\n"),
+                 "wall-clock"),
+      1);
+}
+
+TEST(LintRandom, MemberCallsAreNotLibcCalls) {
+  EXPECT_TRUE(lint("long x = timer.time(0);\n").empty());
+  EXPECT_TRUE(lint("long x = obj->clock(1);\n").empty());
+}
+
+TEST(LintRandom, UtilRngIsExemptFromRawRandomOnly) {
+  const std::string src = "std::mt19937 gen;\nauto t = time(nullptr);\n";
+  const auto fs = dpml::lint::lint_source("src/util/rng.cpp", src);
+  EXPECT_EQ(count_rule(fs, "raw-random"), 0);   // rng may own the primitives
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 1);   // but still no wall-clock
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+TEST(LintUnordered, RangeForOverUnorderedMemberFires) {
+  const std::string src =
+      "std::unordered_map<int, long> seen_;\n"
+      "long f() { long s = 0; for (const auto& [k, v] : seen_) s += v;\n"
+      "  return s; }\n";
+  const auto fs = lint(src);
+  ASSERT_EQ(count_rule(fs, "unordered-iteration"), 1);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintUnordered, OrderedContainersAndUnknownRangesAreFine) {
+  EXPECT_TRUE(
+      lint("std::map<int, int> m_;\nvoid f() { for (auto& kv : m_) {} }\n")
+          .empty());
+  // A range expression the scanner cannot resolve is not guessed at.
+  EXPECT_TRUE(
+      lint("std::unordered_map<int, int> m_;\n"
+           "void f() { for (auto& kv : sorted_view(m_)) {} }\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// coro-ref-capture
+
+TEST(LintCoro, RefCaptureLambdaCoroutineFires) {
+  const std::string src =
+      "void f(Engine& e) {\n"
+      "  int x = 1;\n"
+      "  e.spawn([&]() -> Task { co_await x; });\n"
+      "}\n";
+  const auto fs = lint(src);
+  ASSERT_EQ(count_rule(fs, "coro-ref-capture"), 1);
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintCoro, ValueCapturesAndPlainLambdasAreFine) {
+  EXPECT_TRUE(lint("e.spawn([x]() -> Task { co_await x; });\n").empty());
+  EXPECT_TRUE(lint("e.call([&] { return x + 1; });\n").empty());
+  // Subscripts and attributes are not lambda introducers.
+  EXPECT_TRUE(lint("int y = arr[i]; co_await t;\n").empty());
+  EXPECT_TRUE(lint("[[nodiscard]] int g(); co_await t;\n").empty());
+}
+
+TEST(LintCoro, NamedRefCaptureFires) {
+  EXPECT_EQ(count_rule(lint("e.spawn([&x]() -> Task { co_await x; });\n"),
+                       "coro-ref-capture"),
+            1);
+}
+
+// ---------------------------------------------------------------------------
+// await-temporary
+
+TEST(LintAwaitTemp, BracedTemporaryInsideCoAwaitFires) {
+  const auto fs =
+      lint("co_await run_collective(kind, a, {\"rd\"});\n");
+  ASSERT_EQ(count_rule(fs, "await-temporary"), 1);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(count_rule(lint("co_await f(1, {x, y});\n"), "await-temporary"),
+            1);
+}
+
+TEST(LintAwaitTemp, EmptyBracesAndNamedLocalsAreFine) {
+  // {} conventionally passes a default span and holds no state.
+  EXPECT_TRUE(lint("co_await r.send(c, dst, tag, n, {});\n").empty());
+  // The fixed idiom: bind first, then await.
+  EXPECT_TRUE(
+      lint("CollSpec s{\"rd\"};\nco_await run_collective(kind, a, s);\n")
+          .empty());
+  // Braces outside a co_await statement are untouched.
+  EXPECT_TRUE(lint("auto v = f(1, {2, 3});\n").empty());
+  // A lambda body inside the awaited call is not an argument brace.
+  EXPECT_TRUE(lint("co_await with([&]() -> T { return g(); });\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+TEST(LintSuppress, SameLinePrevLineAndFileWide) {
+  EXPECT_TRUE(lint("int x = rand();  // dpmllint: allow(raw-random)\n").empty());
+  EXPECT_TRUE(
+      lint("// dpmllint: allow(raw-random)\nint x = rand();\n").empty());
+  EXPECT_TRUE(
+      lint("// dpmllint: allow-file(raw-random)\nint f();\nint x = rand();\n")
+          .empty());
+  EXPECT_TRUE(lint("int x = rand();  // dpmllint: allow(all)\n").empty());
+  // The wrong rule name does not suppress.
+  EXPECT_EQ(
+      count_rule(lint("int x = rand();  // dpmllint: allow(wall-clock)\n"),
+                 "raw-random"),
+      1);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+
+TEST(LintOutput, JsonIsWellFormedAndNamesEveryField) {
+  const auto fs = lint("int x = rand();\n");
+  std::ostringstream os;
+  dpml::lint::print_json(os, fs);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"file\": \"snippet.cpp\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"rule\": \"raw-random\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"line\": 1"), std::string::npos) << j;
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j[j.size() - 2], ']');
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+const std::string kRoot = DPML_SOURCE_ROOT;
+
+TEST(LintFixtures, DanglingCoroutineCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/dangling_coro.cc");
+  EXPECT_EQ(count_rule(fs, "coro-ref-capture"), 2);  // [&] and [&counter]
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "coro-ref-capture");
+}
+
+TEST(LintFixtures, RawRandomAndWallClockCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/raw_random.cc");
+  EXPECT_GE(count_rule(fs, "raw-random"), 4);
+  EXPECT_GE(count_rule(fs, "wall-clock"), 2);
+}
+
+TEST(LintFixtures, UnorderedIterationCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/unordered_iter.cc");
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 2);
+}
+
+TEST(LintFixtures, AwaitTemporaryCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/await_temp.cc");
+  EXPECT_EQ(count_rule(fs, "await-temporary"), 2);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "await-temporary");
+}
+
+TEST(LintFixtures, SuppressedFixtureIsClean) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/suppressed.cc");
+  EXPECT_TRUE(fs.empty()) << fs.size() << " finding(s), first: "
+                          << (fs.empty() ? "" : fs[0].message);
+}
+
+// ---------------------------------------------------------------------------
+// The tree invariant: src/ and the tools lint clean.
+
+TEST(LintTree, WholeSourceTreeIsClean) {
+  const auto files = dpml::lint::collect_sources({kRoot + "/src"});
+  ASSERT_GT(files.size(), 50u) << "source enumeration looks broken";
+  for (const std::string& f : files) {
+    const auto fs = dpml::lint::lint_file(f);
+    for (const Finding& v : fs) {
+      ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                    << v.message;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,34 @@
+// dpmllint fixture: a lambda coroutine capturing by reference. The coroutine
+// frame refers to the closure object, which dies when spawn() returns — the
+// canonical dangling pattern the coro-ref-capture rule exists for. This file
+// is never compiled; it is scanned by dpmllint_test.
+#include <cstddef>
+
+struct Engine {
+  template <typename F>
+  void spawn(F f);
+};
+
+struct Task {};
+
+void dangles(Engine& e) {
+  int local = 42;
+  e.spawn([&]() -> Task {
+    co_await local;  // frame outlives `local`
+  });
+}
+
+void dangles_named_capture(Engine& e) {
+  int counter = 0;
+  e.spawn([&counter]() -> Task { co_await counter; });
+}
+
+void fine_value_capture(Engine& e) {
+  int local = 42;
+  e.spawn([local]() -> Task { co_await local; });  // by value: not flagged
+}
+
+void fine_non_coroutine(Engine& e) {
+  int local = 42;
+  e.spawn([&] { return local + 1; });  // no co_await: not flagged
+}

@@ -1,0 +1,31 @@
+// dpmllint fixture: raw randomness and wall-clock reads. Never compiled;
+// scanned by dpmllint_test.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int draw() {
+  return rand();  // raw-random
+}
+
+void seed_it() {
+  std::random_device rd;  // raw-random
+  std::mt19937 gen(rd());  // raw-random
+  srand(static_cast<unsigned>(time(nullptr)));  // raw-random + wall-clock
+}
+
+long stamp() {
+  return clock();  // wall-clock
+}
+
+// Masked contexts must NOT fire:
+//   rand() in a comment is fine
+const char* doc = "call rand() for chaos";  // rand() in a string is fine
+
+int operand(int x) { return x; }
+int uses_operand() { return operand(3); }  // identifier boundary: not rand()
+
+struct Timer {
+  long time(int) { return 0; }
+};
+long member_call(Timer& t) { return t.time(0); }  // member .time(): fine

@@ -1,0 +1,31 @@
+// dpmllint fixture: every violation here carries a suppression comment, so
+// the file must lint clean. Never compiled; scanned by dpmllint_test.
+// dpmllint: allow-file(wall-clock)
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+int draw() {
+  return rand();  // dpmllint: allow(raw-random)
+}
+
+int draw_prev_line() {
+  // dpmllint: allow(raw-random)
+  return rand();
+}
+
+long stamp() {
+  return clock();  // covered by the allow-file(wall-clock) above
+}
+
+long stamp2() { return time(nullptr); }  // also allow-file covered
+
+struct S {
+  std::unordered_map<int, int> m_;
+  int total() const {
+    int sum = 0;
+    // dpmllint: allow(all)
+    for (const auto& [k, v] : m_) sum += v;
+    return sum;
+  }
+};

@@ -1,0 +1,36 @@
+// dpmllint fixture: range-for over unordered containers. Never compiled;
+// scanned by dpmllint_test.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Stats {
+  std::unordered_map<int, long> per_rank_;
+  std::unordered_set<std::string> names_;
+  std::map<int, long> ordered_;
+
+  long total() const {
+    long sum = 0;
+    for (const auto& [rank, v] : per_rank_) {  // unordered-iteration
+      sum += v;
+    }
+    return sum;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& name : names_) {  // unordered-iteration
+      n += name.size();
+    }
+    return n;
+  }
+
+  long ordered_total() const {
+    long sum = 0;
+    for (const auto& [rank, v] : ordered_) {  // std::map: fine
+      sum += v;
+    }
+    return sum;
+  }
+};

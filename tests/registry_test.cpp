@@ -224,8 +224,10 @@ TEST(Equivalence, RunAllreduceShimMatchesGenericEntry) {
         a.count = 1024;
         a.inplace = true;
         if (generic) {
-          co_await core::run_collective(core::CollKind::allreduce, a,
-                                        core::to_generic(spec));
+          // Named spec, not a temporary: gcc 12 double-destroys extra
+          // temporaries in a co_await full expression (await-temporary).
+          const core::CollSpec gspec = core::to_generic(spec);
+          co_await core::run_collective(core::CollKind::allreduce, a, gspec);
         } else {
           co_await core::run_allreduce(a, spec);
         }

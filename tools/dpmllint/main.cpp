@@ -1,0 +1,77 @@
+// dpmllint driver.
+//
+//   dpmllint [--format=text|json] [--out FILE] PATH...
+//
+// PATHs may be files or directories (recursed for .hpp/.h/.cpp/.cc). Exit
+// status: 0 clean, 1 findings, 2 usage or I/O error. See lint.hpp for the
+// rule catalogue and docs/CHECKING.md for the workflow.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::cerr << "usage: " << prog << " [--format=text|json] [--out FILE] PATH...\n"
+            << "Lints C++ sources for coroutine-lifetime and determinism\n"
+            << "violations (rules: coro-ref-capture, raw-random, wall-clock,\n"
+            << "unordered-iteration). Exits 0 when clean, 1 on findings.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage(argv[0]);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dpmllint: unknown flag " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  std::vector<dpml::lint::Finding> findings;
+  try {
+    for (const std::string& f : dpml::lint::collect_sources(paths)) {
+      auto fs = dpml::lint::lint_file(f);
+      findings.insert(findings.end(), fs.begin(), fs.end());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "dpmllint: cannot write " << out_path << "\n";
+      return 2;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : out_file;
+  if (format == "json") {
+    dpml::lint::print_json(os, findings);
+  } else {
+    dpml::lint::print_text(os, findings);
+  }
+  return findings.empty() ? 0 : 1;
+}

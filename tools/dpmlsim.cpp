@@ -60,6 +60,16 @@ int usage() {
       "              --perturb SPEC  (e.g. \"jitter=lognormal:sigma=0.2;"
       "skew=uniform:max_us=50;seed=7\")\n"
       "              --reps N  (independent noise realizations per point)\n"
+      "              --check[=basic|strict]  (simcheck MPI-semantics "
+      "verification;\n"
+      "                bare --check means basic: unmatched/leaked requests,\n"
+      "                count/dtype mismatches, buffer overlap, deadlock "
+      "report,\n"
+      "                result verification vs a serial reference. strict "
+      "adds\n"
+      "                exact recv capacities, slot-leak and tracer "
+      "span-balance\n"
+      "                checks. See docs/CHECKING.md)\n"
       "              --list-algorithms  (print the collective registry)\n";
   return 2;
 }
@@ -111,6 +121,13 @@ core::MeasureOptions measure_opts(const util::Args& args) {
   // Unknown injectors/parameters throw util::InvariantError naming every
   // valid one; main's catch turns that into the CLI error message.
   opt.perturb = perturb::PerturbSpec::parse(args.get("perturb", ""));
+  if (args.has("check")) {
+    const std::string level = args.get("check", "");
+    // Bare "--check" parses as the boolean "true": treat it as basic.
+    opt.check = (level.empty() || level == "true")
+                    ? check::CheckLevel::basic
+                    : check::check_level_by_name(level);
+  }
   return opt;
 }
 
