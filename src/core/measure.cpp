@@ -1,5 +1,6 @@
 #include "core/measure.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -71,6 +72,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
   ropt.with_data = opt.with_data;
   ropt.seed = opt.seed;
   ropt.check_level = opt.check;
+  ropt.fabric_level = opt.fabric;
   ropt.perturb = opt.perturb;
   ropt.perturb.seed = opt.perturb.seed + static_cast<std::uint64_t>(rep);
   simmpi::Machine machine(cfg, nodes, ppn, ropt);
@@ -145,6 +147,13 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
   all_samples.insert(all_samples.end(), sh->samples.begin(),
                      sh->samples.end());
   res.events += machine.engine().events_processed();
+  if (const fabric::FlowFabric* ff = machine.flow_fabric()) {
+    res.fabric_links = true;
+    res.oversubscription = cfg.oversubscription;
+    res.max_link_util =
+        std::max(res.max_link_util,
+                 ff->max_avg_link_utilization(machine.engine().now()));
+  }
   for (const auto& [key, st] : machine.imbalance_stats()) {
     (void)key;
     res.imbalance_ops += st.ops;

@@ -12,6 +12,7 @@
 
 #include "check/check.hpp"
 #include "core/api.hpp"
+#include "fabric/fabric.hpp"
 #include "net/cluster.hpp"
 #include "perturb/spec.hpp"
 
@@ -36,6 +37,10 @@ struct MeasureOptions {
   // MPI-semantics verification for every repetition's machine (simcheck).
   // A checked run's simulated times are identical to an unchecked one.
   check::CheckLevel check = check::CheckLevel::off;
+  // Flow-level fabric fidelity for every repetition's machine. The default
+  // `none` keeps the classic LogGP transport (bit-identical results);
+  // `links` enforces per-link capacities with max-min fair sharing.
+  fabric::FabricLevel fabric = fabric::FabricLevel::none;
 };
 
 struct MeasureResult {
@@ -52,6 +57,12 @@ struct MeasureResult {
   double entry_skew_avg_us = 0.0;  // mean per-op (max - min) entry skew
   double exit_skew_avg_us = 0.0;   // mean per-op (max - min) exit skew
   double wait_avg_us = 0.0;        // mean per-op summed early-arriver wait
+  // Fabric run metadata (fabric == links only): the cluster's declared
+  // oversubscription and the busiest link's time-averaged utilization
+  // (worst repetition).
+  bool fabric_links = false;
+  double oversubscription = 1.0;
+  double max_link_util = 0.0;
 };
 
 // Measure any registered collective. `bytes` is the message size per rank;

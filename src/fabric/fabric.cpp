@@ -1,0 +1,433 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dpml::fabric {
+
+namespace {
+
+constexpr double kGiga = 1e9;           // decimal GB/s -> bytes/s
+constexpr double kRelEps = 1e-9;        // water-filling freeze tolerance
+constexpr double kDrainedBytes = 1e-6;  // a flow this close to empty is done
+
+double to_bps(double gbps) { return gbps * kGiga; }
+
+}  // namespace
+
+const char* fabric_level_name(FabricLevel level) {
+  switch (level) {
+    case FabricLevel::none:
+      return "none";
+    case FabricLevel::links:
+      return "links";
+  }
+  return "?";
+}
+
+FabricLevel fabric_level_by_name(const std::string& name) {
+  if (name == "none") return FabricLevel::none;
+  if (name == "links") return FabricLevel::links;
+  DPML_CHECK_MSG(false, "unknown fabric level '" + name +
+                            "' (valid: none, links)");
+  return FabricLevel::none;
+}
+
+FabricTopo FabricTopo::derive(const net::ClusterConfig& cfg, int nodes) {
+  DPML_CHECK_MSG(nodes >= 1, "fabric needs at least one node");
+  DPML_CHECK_MSG(cfg.nodes_per_leaf >= 1,
+                 "cluster '" + cfg.name + "' declares nodes_per_leaf " +
+                     std::to_string(cfg.nodes_per_leaf));
+  DPML_CHECK_MSG(cfg.oversubscription >= 1.0,
+                 "cluster '" + cfg.name +
+                     "' declares an oversubscription factor below 1");
+  DPML_CHECK_MSG(cfg.nic.link_bw > 0.0,
+                 "cluster '" + cfg.name + "' has no link bandwidth");
+  FabricTopo t;
+  t.nodes = nodes;
+  t.nodes_per_leaf = cfg.nodes_per_leaf;
+  t.leaves = (nodes + cfg.nodes_per_leaf - 1) / cfg.nodes_per_leaf;
+  t.node_link_gbps = cfg.nic.link_bw;
+  // A fully-populated leaf offers nodes_per_leaf * link_bw of edge demand;
+  // the core carries 1/oversubscription of it, built from ways no faster
+  // than one edge link (5:4 oversubscription on a 24-node leaf = 20 core
+  // links of edge speed, paper §6.1).
+  const double leaf_core =
+      cfg.nic.link_bw * cfg.nodes_per_leaf / cfg.oversubscription;
+  t.ecmp_ways = std::max(
+      1, static_cast<int>(std::ceil(leaf_core / cfg.nic.link_bw - 1e-9)));
+  t.core_way_gbps = leaf_core / t.ecmp_ways;
+  return t;
+}
+
+FlowFabric::FlowFabric(sim::Engine& engine, const net::ClusterConfig& cfg,
+                       int nodes)
+    : engine_(engine), topo_(FabricTopo::derive(cfg, nodes)) {
+  links_.reserve(static_cast<std::size_t>(topo_.num_links()));
+  for (int n = 0; n < topo_.nodes; ++n) {
+    add_link("node" + std::to_string(n) + ".up", n, topo_.node_link_gbps);
+  }
+  for (int n = 0; n < topo_.nodes; ++n) {
+    add_link("node" + std::to_string(n) + ".down", n, topo_.node_link_gbps);
+  }
+  for (int l = 0; l < topo_.leaves; ++l) {
+    for (int w = 0; w < topo_.ecmp_ways; ++w) {
+      add_link("leaf" + std::to_string(l) + ".up" + std::to_string(w), -1,
+               topo_.core_way_gbps);
+    }
+  }
+  for (int l = 0; l < topo_.leaves; ++l) {
+    for (int w = 0; w < topo_.ecmp_ways; ++w) {
+      add_link("leaf" + std::to_string(l) + ".down" + std::to_string(w), -1,
+               topo_.core_way_gbps);
+    }
+  }
+}
+
+int FlowFabric::add_link(std::string name, int node, double gbps) {
+  Link l;
+  l.name = std::move(name);
+  l.node = node;
+  l.base_gbps = gbps;
+  l.cap = to_bps(gbps);
+  links_.push_back(std::move(l));
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int FlowFabric::uplink(int node) const {
+  DPML_CHECK(node >= 0 && node < topo_.nodes);
+  return node;
+}
+
+int FlowFabric::downlink(int node) const {
+  DPML_CHECK(node >= 0 && node < topo_.nodes);
+  return topo_.nodes + node;
+}
+
+int FlowFabric::leaf_uplink(int leaf, int way) const {
+  DPML_CHECK(leaf >= 0 && leaf < topo_.leaves);
+  DPML_CHECK(way >= 0 && way < topo_.ecmp_ways);
+  return 2 * topo_.nodes + leaf * topo_.ecmp_ways + way;
+}
+
+int FlowFabric::leaf_downlink(int leaf, int way) const {
+  return leaf_uplink(leaf, way) + topo_.leaves * topo_.ecmp_ways;
+}
+
+int FlowFabric::link_node(int id) const {
+  return links_[static_cast<std::size_t>(id)].node;
+}
+
+const std::string& FlowFabric::link_name(int id) const {
+  return links_[static_cast<std::size_t>(id)].name;
+}
+
+double FlowFabric::link_capacity_gbps(int id) const {
+  return links_[static_cast<std::size_t>(id)].base_gbps;
+}
+
+int FlowFabric::ecmp_way(int src_node, int dst_node, int ways) {
+  DPML_CHECK(ways >= 1);
+  // SplitMix64-style finalizer over the (src, dst) pair: stateless, so the
+  // same pair always hashes to the same core switch.
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node))
+       << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_node));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<int>(x % static_cast<std::uint64_t>(ways));
+}
+
+FlowFabric::FlowId FlowFabric::start_flow(int src_node, int dst_node,
+                                          std::uint64_t bytes,
+                                          double rate_cap_gbps,
+                                          Completion done) {
+  DPML_CHECK_MSG(src_node != dst_node, "fabric flows are inter-node");
+  const int src_leaf = src_node / topo_.nodes_per_leaf;
+  const int dst_leaf = dst_node / topo_.nodes_per_leaf;
+  int path[4];
+  int n = 0;
+  path[n++] = uplink(src_node);
+  if (src_leaf != dst_leaf) {
+    const int way = ecmp_way(src_node, dst_node, topo_.ecmp_ways);
+    path[n++] = leaf_uplink(src_leaf, way);
+    path[n++] = leaf_downlink(dst_leaf, way);
+  }
+  path[n++] = downlink(dst_node);
+  return launch(path, n, bytes, rate_cap_gbps, std::move(done));
+}
+
+FlowFabric::FlowId FlowFabric::start_uplink_flow(int node, std::uint64_t bytes,
+                                                 double rate_cap_gbps,
+                                                 Completion done) {
+  const int path[1] = {uplink(node)};
+  return launch(path, 1, bytes, rate_cap_gbps, std::move(done));
+}
+
+FlowFabric::FlowId FlowFabric::start_downlink_flow(int node,
+                                                   std::uint64_t bytes,
+                                                   double rate_cap_gbps,
+                                                   Completion done) {
+  const int path[1] = {downlink(node)};
+  return launch(path, 1, bytes, rate_cap_gbps, std::move(done));
+}
+
+FlowFabric::FlowId FlowFabric::launch(const int* links, int nlinks,
+                                      std::uint64_t bytes,
+                                      double rate_cap_gbps, Completion done) {
+  DPML_CHECK(rate_cap_gbps > 0.0);
+  const sim::Time now = engine_.now();
+  const FlowId id = next_id_++;
+  if (bytes == 0) {
+    // Control-sized flows occupy no bandwidth; complete at the same instant
+    // via a fresh event, preserving schedule-order determinism.
+    engine_.schedule_fn(now, [done = std::move(done), now]() { done(now); });
+    return id;
+  }
+  advance(now);
+  Flow f;
+  for (int i = 0; i < nlinks; ++i) f.links[i] = links[i];
+  f.nlinks = nlinks;
+  f.remaining = static_cast<double>(bytes);
+  f.cap = to_bps(rate_cap_gbps);
+  f.done = std::move(done);
+  flows_.emplace(id, std::move(f));
+  recompute(now);
+  reschedule(now);
+  return id;
+}
+
+double FlowFabric::scaled_capacity(int link, sim::Time now) const {
+  const Link& l = links_[static_cast<std::size_t>(link)];
+  double scale = 1.0;
+  if (capacity_scaler_) {
+    scale = capacity_scaler_(link, now);
+    // A perturbation may choke a link but never disconnect it: a zero or
+    // negative scale would stall flows forever (no completion to reschedule
+    // around), so clamp to a deeply degraded floor instead.
+    scale = std::max(scale, 1e-6);
+  }
+  return to_bps(l.base_gbps) * scale;
+}
+
+void FlowFabric::advance(sim::Time now) {
+  DPML_CHECK(now >= last_);
+  const sim::Time dt = now - last_;
+  if (dt == 0) return;
+  const double dt_s = sim::to_seconds(dt);
+  for (auto& [id, f] : flows_) {
+    (void)id;
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt_s);
+  }
+  for (Link& l : links_) {
+    if (l.cap > 0.0 && l.load > 0.0) {
+      l.busy_integral += (l.load / l.cap) * static_cast<double>(dt);
+    }
+  }
+  last_ = now;
+}
+
+void FlowFabric::recompute(sim::Time now) {
+  // Refresh scaled capacities and close/open congestion intervals against
+  // the new flow set.
+  for (Link& l : links_) {
+    l.cap = scaled_capacity(static_cast<int>(&l - links_.data()), now);
+    l.load = 0.0;
+    l.nflows = 0;
+  }
+  for (auto& [id, f] : flows_) {
+    (void)id;
+    f.rate = -1.0;  // unfrozen
+    for (int i = 0; i < f.nlinks; ++i) {
+      ++links_[static_cast<std::size_t>(f.links[i])].nflows;
+    }
+  }
+
+  // Progressive filling: raise one shared water level across all unfrozen
+  // flows; each round freezes every flow on a newly-saturated link (at the
+  // link's fair share) or at its own rate cap, whichever binds first.
+  int unfrozen = static_cast<int>(flows_.size());
+  while (unfrozen > 0) {
+    double level = std::numeric_limits<double>::infinity();
+    for (const Link& l : links_) {
+      if (l.nflows > 0) {
+        level = std::min(level, (l.cap - l.load) / l.nflows);
+      }
+    }
+    for (const auto& [id, f] : flows_) {
+      (void)id;
+      if (f.rate < 0.0) level = std::min(level, f.cap);
+    }
+    DPML_CHECK(level >= 0.0 && std::isfinite(level));
+    const double freeze_at = level * (1.0 + kRelEps) + 1.0;
+    for (auto& [id, f] : flows_) {
+      (void)id;
+      if (f.rate >= 0.0) continue;
+      bool frozen = f.cap <= freeze_at;
+      for (int i = 0; i < f.nlinks && !frozen; ++i) {
+        const Link& l = links_[static_cast<std::size_t>(f.links[i])];
+        frozen = (l.cap - l.load) / l.nflows <= freeze_at;
+      }
+      if (!frozen) continue;
+      f.rate = std::min(level, f.cap);
+      --unfrozen;
+    }
+    // Commit the frozen rates to their links.
+    for (Link& l : links_) {
+      l.load = 0.0;
+      l.nflows = 0;
+    }
+    for (const auto& [id, f] : flows_) {
+      (void)id;
+      for (int i = 0; i < f.nlinks; ++i) {
+        Link& l = links_[static_cast<std::size_t>(f.links[i])];
+        if (f.rate >= 0.0) {
+          l.load += f.rate;
+        } else {
+          ++l.nflows;
+        }
+      }
+    }
+  }
+
+  // Final per-link flow counts (everything is frozen now; the filling loop
+  // left nflows at zero).
+  for (const auto& [id, f] : flows_) {
+    (void)id;
+    for (int i = 0; i < f.nlinks; ++i) {
+      ++links_[static_cast<std::size_t>(f.links[i])].nflows;
+    }
+  }
+
+  // Conservation invariant (always on, cheap): no link is allocated beyond
+  // its capacity, and the instantaneous peak is recorded.
+  for (Link& l : links_) {
+    DPML_CHECK_MSG(l.load <= l.cap * (1.0 + 1e-6) + 1.0,
+                   "fabric link '" + l.name + "' over-allocated");
+    if (l.cap > 0.0) {
+      peak_util_ = std::max(peak_util_, l.load / l.cap);
+    }
+    // Congestion bookkeeping: an interval is open while >= 2 flows share
+    // the link.
+    if (l.nflows >= 2 && l.cong_since < 0) {
+      l.cong_since = now;
+    } else if (l.nflows < 2 && l.cong_since >= 0) {
+      l.cong_time += now - l.cong_since;
+      if (congestion_cb_ && now > l.cong_since) {
+        congestion_cb_(static_cast<int>(&l - links_.data()), l.cong_since,
+                       now);
+      }
+      l.cong_since = -1;
+    }
+  }
+}
+
+void FlowFabric::reschedule(sim::Time now) {
+  for (auto& [id, f] : flows_) {
+    ++f.gen;
+    DPML_CHECK(f.rate > 0.0);
+    const double eta_s = f.remaining / f.rate;
+    const sim::Time eta =
+        now + std::max<sim::Time>(
+                  1, static_cast<sim::Time>(
+                         std::ceil(eta_s * static_cast<double>(sim::kSecond))));
+    const FlowId fid = id;
+    const std::uint64_t gen = f.gen;
+    engine_.schedule_fn(eta,
+                        [this, fid, gen]() { on_completion_event(fid, gen); });
+  }
+}
+
+void FlowFabric::on_completion_event(FlowId id, std::uint64_t gen) {
+  auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.gen != gen) return;  // stale event
+  const sim::Time now = engine_.now();
+  advance(now);
+  if (it->second.remaining > kDrainedBytes) {
+    // Rounding drift: the flow is not quite done — reschedule its tail.
+    reschedule(now);
+    return;
+  }
+  Completion done = std::move(it->second.done);
+  flows_.erase(it);
+  recompute(now);
+  reschedule(now);
+  // Invoked last: the callback may start new flows, which re-enter the
+  // allocator on consistent state.
+  if (done) done(now);
+}
+
+void FlowFabric::set_capacity_scaler(
+    std::function<double(int, sim::Time)> fn) {
+  capacity_scaler_ = std::move(fn);
+}
+
+void FlowFabric::schedule_reallocations(const std::vector<sim::Time>& times) {
+  for (sim::Time t : times) {
+    engine_.schedule_fn(t, [this]() {
+      const sim::Time now = engine_.now();
+      advance(now);
+      recompute(now);
+      reschedule(now);
+    });
+  }
+}
+
+void FlowFabric::set_congestion_listener(
+    std::function<void(int, sim::Time, sim::Time)> fn) {
+  congestion_cb_ = std::move(fn);
+}
+
+void FlowFabric::finish(sim::Time now) {
+  advance(now);
+  for (Link& l : links_) {
+    if (l.cong_since >= 0) {
+      l.cong_time += now - l.cong_since;
+      if (congestion_cb_ && now > l.cong_since) {
+        congestion_cb_(static_cast<int>(&l - links_.data()), l.cong_since,
+                       now);
+      }
+      l.cong_since = -1;
+    }
+  }
+}
+
+double FlowFabric::flow_rate_gbps(FlowId id) const {
+  auto it = flows_.find(id);
+  DPML_CHECK_MSG(it != flows_.end(), "querying a completed fabric flow");
+  return it->second.rate / kGiga;
+}
+
+double FlowFabric::link_avg_utilization(int id, sim::Time now) const {
+  if (now <= 0) return 0.0;
+  const Link& l = links_[static_cast<std::size_t>(id)];
+  double busy = l.busy_integral;
+  if (now > last_ && l.cap > 0.0) {
+    busy += (l.load / l.cap) * static_cast<double>(now - last_);
+  }
+  return busy / static_cast<double>(now);
+}
+
+double FlowFabric::max_avg_link_utilization(sim::Time now) const {
+  double m = 0.0;
+  for (int i = 0; i < num_links(); ++i) {
+    m = std::max(m, link_avg_utilization(i, now));
+  }
+  return m;
+}
+
+sim::Time FlowFabric::link_congested_time(int id, sim::Time now) const {
+  const Link& l = links_[static_cast<std::size_t>(id)];
+  sim::Time t = l.cong_time;
+  if (l.cong_since >= 0 && now > l.cong_since) t += now - l.cong_since;
+  return t;
+}
+
+}  // namespace dpml::fabric

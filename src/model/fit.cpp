@@ -68,6 +68,31 @@ double p2p_per_byte(const net::ClusterConfig& cfg, std::size_t bytes,
   return sim::to_seconds(m.now()) / (static_cast<double>(bytes) * msgs);
 }
 
+sim::CoTask<void> oversub_rank(Rank& r, std::size_t bytes, int npl,
+                               int pairs) {
+  const auto& world = r.machine().world();
+  const int w = r.world_rank();
+  if (w < pairs) {
+    // Senders live under leaf 0, receivers under leaf 1 (ppn = 1, so world
+    // rank == node id); all pair flows share leaf 0's core uplink pool.
+    co_await r.send(world, npl + w, 0, bytes);
+  } else if (w >= npl && w < npl + pairs) {
+    co_await r.recv(world, w - npl, 0, bytes);
+  }
+  co_return;
+}
+
+// Wall time for `pairs` concurrent cross-leaf streams under the flow fabric.
+double cross_leaf_time(const net::ClusterConfig& cfg, std::size_t bytes,
+                       int nodes, int npl, int pairs) {
+  simmpi::RunOptions opt;
+  opt.with_data = false;
+  opt.fabric_level = fabric::FabricLevel::links;
+  Machine m(cfg, nodes, 1, opt);
+  m.run([&](Rank& r) { return oversub_rank(r, bytes, npl, pairs); });
+  return sim::to_seconds(m.now());
+}
+
 sim::CoTask<void> reduce_compute_rank(Rank& r, std::size_t bytes) {
   co_await r.reduce_compute(bytes);
 }
@@ -115,6 +140,24 @@ Params fitted_params(const net::ClusterConfig& cfg, int nodes, int ppn,
   m.b2 = f.b2;
   m.c = f.c;
   return m;
+}
+
+double fit_oversub_factor(const net::ClusterConfig& cfg, std::size_t bytes) {
+  const int npl = cfg.nodes_per_leaf;
+  if (npl < 1 || cfg.total_nodes <= npl || cfg.oversubscription <= 1.0) {
+    return 1.0;
+  }
+  const int nodes = std::min(cfg.total_nodes, 2 * npl);
+  const int pairs = std::min(npl, nodes - npl);
+  DPML_CHECK(pairs >= 1);
+  // Baseline: the same streaming pattern on a non-blocking build of the same
+  // cluster. The ratio isolates what the thinner core costs those flows.
+  net::ClusterConfig nonblocking = cfg;
+  nonblocking.oversubscription = 1.0;
+  const double ideal = cross_leaf_time(nonblocking, bytes, nodes, npl, pairs);
+  if (ideal <= 0.0) return 1.0;
+  const double actual = cross_leaf_time(cfg, bytes, nodes, npl, pairs);
+  return std::max(1.0, actual / ideal);
 }
 
 }  // namespace dpml::model

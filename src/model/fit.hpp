@@ -30,4 +30,12 @@ FittedParams fit_from_simulation(const net::ClusterConfig& cfg,
 Params fitted_params(const net::ClusterConfig& cfg, int nodes, int ppn,
                      int leaders, std::size_t bytes, int k = 1);
 
+// Measured core slowdown under the flow-level fabric: the ratio of
+// cross-leaf streaming time with min(nodes_per_leaf, nodes - nodes_per_leaf)
+// concurrent sender pairs to the single-pair time. Returns 1.0 on clusters
+// whose core is not oversubscribed (or that fit under one leaf); compare
+// against Params::os from apply_oversubscription.
+double fit_oversub_factor(const net::ClusterConfig& cfg,
+                          std::size_t bytes = 1 << 20);
+
 }  // namespace dpml::model

@@ -1,5 +1,6 @@
 #include "model/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/time.hpp"
@@ -31,16 +32,28 @@ double t_comp(const Params& m) {
   return (ppn_over_l - 1.0) * m.n * m.c;
 }
 
+namespace {
+// Extra transfer time from core oversubscription: cross-leaf rounds see
+// their per-byte cost inflated by the demand/capacity ratio `os` (the
+// same-leaf rounds run at full edge bandwidth). Zero when os == 1.
+double t_oversub(const Params& m) {
+  if (m.os <= 1.0 || m.cross_rounds <= 0) return 0.0;
+  return m.cross_rounds * (m.n * m.b / m.l) * (m.os - 1.0);
+}
+}  // namespace
+
 double t_comm(const Params& m) {
   if (m.h <= 1) return 0.0;
-  return ceil_lg(m.h) * (m.a + m.n * m.b / m.l + m.n * m.c / m.l);
+  return ceil_lg(m.h) * (m.a + m.n * m.b / m.l + m.n * m.c / m.l) +
+         t_oversub(m);
 }
 
 double t_comm_pipelined(const Params& m) {
   if (m.h <= 1) return 0.0;
   // Eq (5): transfer and compute amortize across sub-partitions; only the
   // startup term multiplies by k.
-  return ceil_lg(m.h) * (m.a * m.k + m.n * m.b / m.l + m.n * m.c / m.l);
+  return ceil_lg(m.h) * (m.a * m.k + m.n * m.b / m.l + m.n * m.c / m.l) +
+         t_oversub(m);
 }
 
 double t_bcast(const Params& m) {
@@ -71,6 +84,23 @@ Params from_cluster(const net::ClusterConfig& cfg, int nodes, int ppn,
   m.b2 = 1.0 / (cfg.host.copy_bw * 1e9);
   m.c = cfg.host.reduce_ns_per_byte * 1e-9;
   return m;
+}
+
+void apply_oversubscription(Params& m, const net::ClusterConfig& cfg,
+                            int nodes) {
+  DPML_CHECK(nodes >= 1);
+  const int npl = cfg.nodes_per_leaf;
+  if (npl < 1 || nodes <= npl || cfg.oversubscription <= 1.0) return;
+  // Recursive-doubling rounds with distance >= nodes_per_leaf pair nodes
+  // under different leaves; those flows share the leaf's core pool.
+  m.cross_rounds = std::max(0, ceil_lg(nodes) - ceil_lg(std::min(nodes, npl)));
+  // Demand: up to nodes_per_leaf leaders injecting at their per-flow
+  // bottleneck (injection pipe vs edge link); capacity: the leaf's core pool.
+  const double per_flow =
+      std::min(static_cast<double>(m.l) * cfg.nic.proc_bw, cfg.nic.link_bw);
+  const double demand = std::min(npl, nodes) * per_flow;
+  const double capacity = npl * cfg.nic.link_bw / cfg.oversubscription;
+  m.os = std::max(1.0, demand / capacity);
 }
 
 }  // namespace dpml::model

@@ -26,6 +26,14 @@ struct Params {
   double b2 = 0;    // b': transfer time per byte, shared memory (s/B)
   double c = 0;     // computation cost per byte of reduction (s/B)
   int k = 1;        // sub-partitions in DPML-Pipelined
+  // Congested-fabric extension (src/fabric flow model, docs/MODEL.md §7):
+  // effective core slowdown felt by a leader flow crossing leaves
+  // (demand / capacity of a leaf's core pool, >= 1) and the number of
+  // recursive-doubling rounds whose partner lives under another leaf.
+  // The defaults (os = 1, cross_rounds = 0) reproduce the paper's
+  // contention-free Equations 4-5 exactly.
+  double os = 1.0;
+  int cross_rounds = 0;
 };
 
 // ceil(lg x) for x >= 1.
@@ -58,5 +66,11 @@ double t_dpml(const Params& m);
 // shared-memory copy constants; c: the host reduction cost.
 Params from_cluster(const net::ClusterConfig& cfg, int nodes, int ppn,
                     int leaders, std::size_t bytes, int k = 1);
+
+// Fill the congested-fabric terms (os, cross_rounds) from the preset's
+// nodes_per_leaf / oversubscription. A run that fits under one leaf, or a
+// non-oversubscribed core, leaves the params untouched (os stays 1).
+void apply_oversubscription(Params& m, const net::ClusterConfig& cfg,
+                            int nodes);
 
 }  // namespace dpml::model

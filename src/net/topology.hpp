@@ -1,10 +1,13 @@
 // Fat-tree fabric topology.
 //
 // Two-level fat tree: nodes attach to leaf switches (`nodes_per_leaf` each),
-// leaf switches attach to a core layer assumed non-blocking at the modelled
-// scales (paper §6.1 describes 5/4-oversubscribed fat trees; collective
-// traffic at these node counts does not saturate the core in the paper's
-// experiments, so core contention is not modelled — documented substitution).
+// leaf switches attach to a core layer. This class only answers structural
+// questions (leaf membership, hop counts, path latency); link *capacity* and
+// core contention are modelled elsewhere. Under the default LogGP transport
+// the core is approximated by per-leaf FIFO pools when oversubscribed; with
+// RunOptions::fabric_level == links, src/fabric/fabric.hpp enforces every
+// edge and ECMP'd core link with max-min fair flow sharing (paper §6.1's
+// 5/4-oversubscribed fat trees).
 #pragma once
 
 #include "net/models.hpp"

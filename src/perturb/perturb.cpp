@@ -130,4 +130,49 @@ sim::Time Perturbation::link_extra_latency(int a, int b, sim::Time now) const {
   return extra;
 }
 
+namespace {
+bool in_window(const LinkSpec& l, sim::Time now) {
+  if (now < l.from) return false;
+  if (l.until != 0 && now >= l.until) return false;
+  return true;
+}
+}  // namespace
+
+double Perturbation::fabric_pair_scale(int a, int b, sim::Time now) const {
+  double scale = 1.0;
+  for (const LinkSpec& l : spec_.links) {
+    if (l.src >= 0 && l.dst >= 0 && matches(l, a, b, now)) scale *= l.bw_scale;
+  }
+  return scale;
+}
+
+double Perturbation::fabric_node_scale(int node, sim::Time now) const {
+  double scale = 1.0;
+  for (const LinkSpec& l : spec_.links) {
+    if ((l.src >= 0) == (l.dst >= 0)) continue;  // pairwise or global
+    const int named = l.src >= 0 ? l.src : l.dst;
+    if (named == node && in_window(l, now)) scale *= l.bw_scale;
+  }
+  return scale;
+}
+
+double Perturbation::fabric_global_scale(sim::Time now) const {
+  double scale = 1.0;
+  for (const LinkSpec& l : spec_.links) {
+    if (l.src < 0 && l.dst < 0 && in_window(l, now)) scale *= l.bw_scale;
+  }
+  return scale;
+}
+
+std::vector<sim::Time> Perturbation::link_rule_boundaries() const {
+  std::vector<sim::Time> edges;
+  for (const LinkSpec& l : spec_.links) {
+    if (l.from > 0) edges.push_back(l.from);
+    if (l.until > 0) edges.push_back(l.until);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
 }  // namespace dpml::perturb

@@ -66,6 +66,18 @@ class Perturbation {
   double link_bw_scale(int a, int b, sim::Time now) const;
   sim::Time link_extra_latency(int a, int b, sim::Time now) const;
 
+  // Flow-fabric decomposition of the same rules (fabric_level == links):
+  // pairwise rules (both endpoints named) cap the individual flow's rate,
+  // one-sided rules scale the named node's edge-link capacities, and fully
+  // wildcarded rules scale every link. Products over matching in-window
+  // rules, like link_bw_scale.
+  double fabric_pair_scale(int a, int b, sim::Time now) const;
+  double fabric_node_scale(int node, sim::Time now) const;
+  double fabric_global_scale(sim::Time now) const;
+  // Sorted unique positive from/until edges of windowed link rules — the
+  // instants where the fabric must re-divide bandwidth.
+  std::vector<sim::Time> link_rule_boundaries() const;
+
   // The seeded straggler choice (sorted world ranks), for reporting.
   const std::vector<int>& straggler_ranks() const { return straggler_ranks_; }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 
+#include "fabric/fabric.hpp"
 #include "util/error.hpp"
 
 namespace dpml::sharp {
@@ -121,25 +123,49 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
   const Time occupancy =
       std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
   const int my_hca = machine_.hca_of_local(r.local_rank());
-  const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
-  const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
-                         nic.switch_latency;
-  // Contribution materializes at the switch at `at_switch`.
+  // Contribution materializes at the switch once the upload leg completes.
   std::vector<std::byte> payload(in.begin(), in.end());
-  eng.schedule_fn(at_switch, [this, &st, count, dt, op,
-                              payload = std::move(payload)]() {
-    st.max_arrival = std::max(st.max_arrival, machine_.engine().now());
+  OpState* stp = &st;
+  std::function<void()> contribute = [this, stp, count, dt, op,
+                                      payload = std::move(payload)]() {
+    stp->max_arrival = std::max(stp->max_arrival, machine_.engine().now());
     if (!payload.empty()) {
-      if (!st.acc_init) {
-        st.acc = payload;
-        st.acc_init = true;
+      if (!stp->acc_init) {
+        stp->acc = payload;
+        stp->acc_init = true;
       } else {
-        op.apply(dt, count, simmpi::MutBytes{st.acc},
+        op.apply(dt, count, simmpi::MutBytes{stp->acc},
                  simmpi::ConstBytes{payload});
       }
     }
-    st.arrivals.arrive();
-  });
+    stp->arrivals.arrive();
+  };
+  fabric::FlowFabric* ff = machine_.flow_fabric();
+  if (ff != nullptr) {
+    // Flow-fabric upload: the TX engine charges its per-message cost, the
+    // payload drains as a node->leaf flow sharing the uplink fairly, and
+    // the contribution lands one wire+switch hop after the slower of the
+    // injection pipe and the flow.
+    const auto tx = r.node().tx(my_hca).acquire_grant(t0, nic.per_msg_tx);
+    const int my_node = r.node_id();
+    eng.schedule_fn(tx.start, [this, ff, my_node, bytes, inj_done,
+                               contribute = std::move(contribute)]() mutable {
+      ff->start_uplink_flow(
+          my_node, bytes, machine_.config().nic.link_bw,
+          [this, inj_done,
+           contribute = std::move(contribute)](Time flow_done) mutable {
+            const net::NicModel& n = machine_.config().nic;
+            const Time at_switch = std::max(inj_done, flow_done) +
+                                   n.wire_latency + n.switch_latency;
+            machine_.engine().schedule_fn(at_switch, std::move(contribute));
+          });
+    });
+  } else {
+    const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
+    const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
+                           nic.switch_latency;
+    eng.schedule_fn(at_switch, std::move(contribute));
+  }
   co_await st.arrivals.wait();
 
   // All contributions are in the tree: aggregation proceeds level by level.
@@ -159,14 +185,34 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
   // Multicast down: top switch -> my leaf -> my node, then normal RX path.
   const Time down_latency = (g.levels - 1) * (nic.wire_latency + nic.switch_latency) +
                             nic.wire_latency;
-  const Time down_head = st.finish + down_latency;
   auto delivered = std::make_shared<sim::Flag>(eng);
   const int my_node = r.node_id();
-  eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
-    const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
-        machine_.engine().now(), occupancy);
-    machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
-  });
+  if (ff != nullptr) {
+    // Flow-fabric download: the result leaves the tree at st.finish as a
+    // leaf->node flow; delivery adds the multicast path latency and the RX
+    // per-message cost.
+    eng.schedule_fn(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
+                                delivered]() {
+      ff->start_downlink_flow(
+          my_node, bytes, machine_.config().nic.link_bw,
+          [this, my_node, my_hca, down_latency, delivered](Time flow_done) {
+            machine_.engine().schedule_fn(
+                flow_done + down_latency, [this, my_node, my_hca, delivered]() {
+                  const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
+                      machine_.engine().now(), machine_.config().nic.per_msg_tx);
+                  machine_.engine().schedule_fn(rx_done,
+                                                [delivered]() { delivered->post(); });
+                });
+          });
+    });
+  } else {
+    const Time down_head = st.finish + down_latency;
+    eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
+      const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
+          machine_.engine().now(), occupancy);
+      machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
+    });
+  }
   co_await delivered->wait();
   co_await eng.delay(nic.o_recv);
   if (!out.empty() && st.acc_init) {
@@ -210,25 +256,45 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
   const Time occupancy =
       std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw));
   const int my_hca = machine_.hca_of_local(r.local_rank());
+  fabric::FlowFabric* ff = machine_.flow_fabric();
   if (r.world_rank() == root_world) {
     // Root uploads the payload to its leaf switch.
     co_await eng.delay(nic.o_send);
     const Time t0 = eng.now();
     const Time inj_done = t0 + transfer_time(bytes, nic.proc_bw);
-    const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
-    const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
-                           nic.switch_latency;
     std::vector<std::byte> payload(buf.begin(), buf.end());
-    eng.schedule_fn(at_switch, [this, &st,
-                                payload = std::move(payload)]() mutable {
-      st.max_arrival = std::max(st.max_arrival, machine_.engine().now());
+    OpState* stp = &st;
+    std::function<void()> arrive = [this, stp,
+                                    payload = std::move(payload)]() mutable {
+      stp->max_arrival = std::max(stp->max_arrival, machine_.engine().now());
       if (!payload.empty()) {
-        st.acc = std::move(payload);
-        st.acc_init = true;
+        stp->acc = std::move(payload);
+        stp->acc_init = true;
       }
       // The root's arrival opens the gate for everyone.
-      st.arrivals.arrive(static_cast<int>(st.arrivals.pending()));
-    });
+      stp->arrivals.arrive(static_cast<int>(stp->arrivals.pending()));
+    };
+    if (ff != nullptr) {
+      const auto tx = r.node().tx(my_hca).acquire_grant(t0, nic.per_msg_tx);
+      const int my_node = r.node_id();
+      eng.schedule_fn(tx.start, [this, ff, my_node, bytes, inj_done,
+                                 arrive = std::move(arrive)]() mutable {
+        ff->start_uplink_flow(
+            my_node, bytes, machine_.config().nic.link_bw,
+            [this, inj_done,
+             arrive = std::move(arrive)](Time flow_done) mutable {
+              const net::NicModel& n = machine_.config().nic;
+              const Time at_switch = std::max(inj_done, flow_done) +
+                                     n.wire_latency + n.switch_latency;
+              machine_.engine().schedule_fn(at_switch, std::move(arrive));
+            });
+      });
+    } else {
+      const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
+      const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
+                             nic.switch_latency;
+      eng.schedule_fn(at_switch, std::move(arrive));
+    }
   }
   co_await st.arrivals.wait();
 
@@ -243,14 +309,31 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
   const Time down_latency = (g.levels - 1) * (nic.wire_latency +
                                               nic.switch_latency) +
                             nic.wire_latency;
-  const Time down_head = st.finish + down_latency;
   auto delivered = std::make_shared<sim::Flag>(eng);
   const int my_node = r.node_id();
-  eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
-    const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
-        machine_.engine().now(), occupancy);
-    machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
-  });
+  if (ff != nullptr) {
+    eng.schedule_fn(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
+                                delivered]() {
+      ff->start_downlink_flow(
+          my_node, bytes, machine_.config().nic.link_bw,
+          [this, my_node, my_hca, down_latency, delivered](Time flow_done) {
+            machine_.engine().schedule_fn(
+                flow_done + down_latency, [this, my_node, my_hca, delivered]() {
+                  const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
+                      machine_.engine().now(), machine_.config().nic.per_msg_tx);
+                  machine_.engine().schedule_fn(rx_done,
+                                                [delivered]() { delivered->post(); });
+                });
+          });
+    });
+  } else {
+    const Time down_head = st.finish + down_latency;
+    eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
+      const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
+          machine_.engine().now(), occupancy);
+      machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
+    });
+  }
   co_await delivered->wait();
   co_await eng.delay(nic.o_recv);
   if (r.world_rank() != root_world && !buf.empty() && st.acc_init) {

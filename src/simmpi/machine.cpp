@@ -210,6 +210,10 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
                      std::to_string(cfg_.total_nodes) + " nodes");
   DPML_CHECK_MSG(ppn >= 1 && ppn <= cfg_.max_ppn(),
                  "ppn out of range for cluster '" + cfg_.name + "'");
+  // Enforce the preset's declared fabric shape up front: deriving the link
+  // plan validates nodes_per_leaf and oversubscription for every cluster,
+  // whether or not the flow-level model is enabled for this run.
+  (void)fabric::FabricTopo::derive(cfg_, nodes);
   for (int i = 0; i < nodes; ++i) nodes_.emplace_back(*this, i);
   std::vector<int> world_ranks(static_cast<std::size_t>(nodes) * ppn);
   for (int i = 0; i < static_cast<int>(world_ranks.size()); ++i) {
@@ -217,16 +221,34 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
   }
   world_ = Comm(0, std::move(world_ranks));
   for (int w = 0; w < world_size(); ++w) ranks_.emplace_back(*this, w);
-  if (cfg_.oversubscription > 1.0) {
+  if (!opt_.perturb.empty()) {
+    perturb_ =
+        std::make_unique<perturb::Perturbation>(opt_.perturb, world_size());
+  }
+  if (opt_.fabric_level == fabric::FabricLevel::links) {
+    fabric_ = std::make_unique<fabric::FlowFabric>(engine_, cfg_, nodes);
+    if (perturb_ != nullptr && perturb_->has_link_rules()) {
+      // Link-degradation rules become per-link capacity scaling: node-scoped
+      // rules choke that node's edge links, fully-wildcarded rules choke the
+      // whole fabric, and rule windows trigger reallocation at their
+      // boundaries. (Pairwise rules cap individual flows in fabric_send.)
+      perturb::Perturbation* pt = perturb_.get();
+      fabric_->set_capacity_scaler([this, pt](int link, sim::Time now) {
+        double s = pt->fabric_global_scale(now);
+        const int owner = fabric_->link_node(link);
+        if (owner >= 0) s *= pt->fabric_node_scale(owner, now);
+        return s;
+      });
+      fabric_->schedule_reallocations(pt->link_rule_boundaries());
+    }
+  } else if (cfg_.oversubscription > 1.0) {
+    // LogGP path: the oversubscribed core is approximated by per-leaf FIFO
+    // uplink/downlink pools (the flow fabric models it per-link instead).
     core_bw_ = cfg_.nic.link_bw * cfg_.nodes_per_leaf / cfg_.oversubscription;
     for (int leafidx = 0; leafidx < topo_.num_leaves(); ++leafidx) {
       leaf_up_.emplace_back("leaf" + std::to_string(leafidx) + ".up");
       leaf_down_.emplace_back("leaf" + std::to_string(leafidx) + ".down");
     }
-  }
-  if (!opt_.perturb.empty()) {
-    perturb_ =
-        std::make_unique<perturb::Perturbation>(opt_.perturb, world_size());
   }
   if (opt_.check_level != check::CheckLevel::off) {
     checker_ = std::make_unique<check::Checker>(opt_.check_level,
@@ -244,6 +266,20 @@ void Machine::enable_trace() {
     tracer_->set_thread_name(
         w, "rank " + std::to_string(w) + " (node " +
                std::to_string(w / ppn_) + ")");
+  }
+  if (fabric_ != nullptr) {
+    // One lane per fabric link, below the rank lanes; congestion intervals
+    // (two or more flows sharing the link) show up as spans on that lane.
+    const int base = world_size();
+    for (int l = 0; l < fabric_->topo().num_links(); ++l) {
+      tracer_->set_thread_name(base + l, "link " + fabric_->link_name(l));
+    }
+    fabric_->set_congestion_listener(
+        [this, base](int link, Time from, Time until) {
+          if (until > from) {
+            tracer_->add("congested", "fabric", base + link, from, until);
+          }
+        });
   }
 }
 
@@ -290,6 +326,42 @@ void Machine::route(int src_node, int dst_node, int dst_hca,
             complete(rx_done);
           });
     });
+  });
+}
+
+void Machine::fabric_send(int src_node, int src_hca, int dst_node, int dst_hca,
+                          sim::Time t0, std::size_t bytes,
+                          sim::Time extra_latency,
+                          std::function<void(sim::Time)> complete) {
+  const net::NicModel& nic = cfg_.nic;
+  // Pairwise link-degradation rules cap this flow's own rate; node-scoped
+  // and global rules are applied as link-capacity scaling by the fabric.
+  double pair_scale = 1.0;
+  if (perturb_ != nullptr && perturb_->has_link_rules()) {
+    pair_scale = perturb_->fabric_pair_scale(src_node, dst_node, engine_.now());
+  }
+  const double rate_cap = nic.link_bw * pair_scale;
+  const Time path = topo_.path_latency(src_node, dst_node, nic) + extra_latency;
+  // The NIC TX engine charges only its per-message cost: wire serialization
+  // is the flow itself, draining at the max-min fair rate.
+  const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, nic.per_msg_tx);
+  engine_.schedule_fn(tx.start, [this, src_node, dst_node, dst_hca, bytes,
+                                 rate_cap, path,
+                                 complete = std::move(complete)]() {
+    fabric_->start_flow(
+        src_node, dst_node, bytes, rate_cap,
+        [this, dst_node, dst_hca, path,
+         complete = std::move(complete)](Time flow_done) {
+          // Last byte off the wire; the head latency and the RX per-message
+          // cost complete the delivery.
+          engine_.schedule_fn(flow_done + path,
+                              [this, dst_node, dst_hca, complete]() {
+                                const Time rx_done =
+                                    node(dst_node).rx(dst_hca).acquire(
+                                        engine_.now(), cfg_.nic.per_msg_tx);
+                                complete(rx_done);
+                              });
+        });
   });
 }
 
@@ -441,6 +513,7 @@ void Machine::run(const std::function<sim::CoTask<void>(Rank&)>& main) {
   for (auto& r : ranks_) engine_.spawn(main(r));
   if (checker_ == nullptr) {
     engine_.run();
+    if (fabric_ != nullptr) fabric_->finish(engine_.now());
     return;
   }
   // Checked run: intercept the engine's deadlock diagnosis so the checker
@@ -454,6 +527,7 @@ void Machine::run(const std::function<sim::CoTask<void>(Rank&)>& main) {
     deadlocked = true;
     deadlock_what = e.what();
   }
+  if (fabric_ != nullptr) fabric_->finish(engine_.now());
   for (auto& r : ranks_) {
     checker_->note_endpoint_state(r.world_rank(), r.matcher());
   }
@@ -576,11 +650,6 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     double lbw;
     Time extra;
     link_mods(lbw, extra);
-    const Time occupancy =
-        std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
-    const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
-    trace("net-send", "net", src_world, t0 - o_send,
-          std::max(inj_done, tx.done));
     Envelope env;
     env.ctx = ctx;
     env.src = src_world;
@@ -589,10 +658,23 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.data = own_copy(data);
     env.recv_cost = nic.o_recv;
     env.dtype = send_dtype;
-    route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
-          [deliver_at, env = std::move(env)](Time rx_done) mutable {
-            deliver_at(rx_done, std::move(env));
-          });
+    if (fabric_ != nullptr) {
+      trace("net-send", "net", src_world, t0 - o_send, inj_done);
+      fabric_send(src_node, src_hca, dst_node, dst_hca, t0, bytes, extra,
+                  [deliver_at, env = std::move(env)](Time rx_done) mutable {
+                    deliver_at(rx_done, std::move(env));
+                  });
+    } else {
+      const Time occupancy = std::max<Time>(
+          nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
+      const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
+      trace("net-send", "net", src_world, t0 - o_send,
+            std::max(inj_done, tx.done));
+      route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
+            [deliver_at, env = std::move(env)](Time rx_done) mutable {
+              deliver_at(rx_done, std::move(env));
+            });
+    }
     co_await engine_.until(inj_done);
     co_return;
   }
@@ -645,19 +727,26 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   double lbw;
   Time extra;
   link_mods(lbw, extra);
-  const Time occupancy =
-      std::max<Time>(nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
-  const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
-  route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
-        [this, state, payload = own_copy(data)](Time rx_done) mutable {
-          engine_.schedule_fn(rx_done, [state, payload = std::move(payload)]() {
-            PostedRecv& pr = *state->pr;
-            if (!pr.truncated && !payload.empty() && !pr.out.empty()) {
-              std::memcpy(pr.out.data(), payload.data(), payload.size());
-            }
-            pr.done->post();
-          });
-        });
+  auto deliver_payload = [this, state,
+                          payload = own_copy(data)](Time rx_done) mutable {
+    engine_.schedule_fn(rx_done, [state, payload = std::move(payload)]() {
+      PostedRecv& pr = *state->pr;
+      if (!pr.truncated && !payload.empty() && !pr.out.empty()) {
+        std::memcpy(pr.out.data(), payload.data(), payload.size());
+      }
+      pr.done->post();
+    });
+  };
+  if (fabric_ != nullptr) {
+    fabric_send(src_node, src_hca, dst_node, dst_hca, t0, bytes, extra,
+                std::move(deliver_payload));
+  } else {
+    const Time occupancy = std::max<Time>(
+        nic.per_msg_tx, transfer_time(bytes, nic.link_bw * lbw));
+    const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, occupancy);
+    route(src_node, dst_node, dst_hca, tx.start, occupancy, bytes, extra,
+          std::move(deliver_payload));
+  }
   // Sender completes once its injection pipe drains.
   co_await engine_.until(inj_done);
 }

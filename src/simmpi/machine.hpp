@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "fabric/fabric.hpp"
 #include "net/cluster.hpp"
 #include "net/topology.hpp"
 #include "perturb/perturb.hpp"
@@ -49,6 +50,11 @@ struct RunOptions {
   // check::Checker whose hooks are pure host-side bookkeeping, so even
   // checked runs report identical simulated times.
   check::CheckLevel check_level = check::CheckLevel::off;
+  // Fabric fidelity. `none` — the default — keeps the classic LogGP
+  // transport bit-identical (golden tests); `links` routes every inter-node
+  // payload through the flow-level max-min fair link model, enforcing the
+  // cluster's nodes_per_leaf/oversubscription capacities.
+  fabric::FabricLevel fabric_level = fabric::FabricLevel::none;
 };
 
 struct RecvResult {
@@ -276,6 +282,12 @@ class Machine {
     CollectiveStats& cs = coll_stats_[key];
     cs.ops += 1;
     cs.rank_time += elapsed;
+    if (fabric_ != nullptr) {
+      cs.fabric_links = true;
+      cs.oversubscription = cfg_.oversubscription;
+      cs.max_link_util = std::max(
+          cs.max_link_util, fabric_->max_avg_link_utilization(engine_.now()));
+    }
   }
 
   // The perturbation runtime, or nullptr for a pristine machine. Charge
@@ -285,6 +297,10 @@ class Machine {
 
   // The semantics checker, or nullptr when RunOptions::check_level is off.
   check::Checker* checker() const { return checker_.get(); }
+
+  // The flow-level fabric, or nullptr when RunOptions::fabric_level is
+  // none (the classic LogGP transport path).
+  fabric::FlowFabric* flow_fabric() const { return fabric_.get(); }
 
   // Per-collective arrival/exit imbalance, keyed like collective_stats().
   // Populated by core::run_collective while tracing or a perturbation is
@@ -335,6 +351,7 @@ class Machine {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<perturb::Perturbation> perturb_;
   std::unique_ptr<check::Checker> checker_;
+  std::unique_ptr<fabric::FlowFabric> fabric_;
 
   // Per-leaf fat-tree uplink/downlink pools (empty when the core is
   // modelled as non-blocking, i.e. oversubscription == 1).
@@ -350,6 +367,14 @@ class Machine {
   void route(int src_node, int dst_node, int dst_hca, sim::Time tx_start,
              sim::Time occupancy, std::size_t bytes, sim::Time extra_latency,
              std::function<void(sim::Time)> complete);
+
+  // Flow-fabric payload path (fabric_level == links): the NIC TX engine
+  // charges only its per-message cost, the payload drains as a max-min fair
+  // flow, and delivery adds path latency plus the RX per-message cost.
+  // `complete` runs with the RX completion time.
+  void fabric_send(int src_node, int src_hca, int dst_node, int dst_hca,
+                   sim::Time t0, std::size_t bytes, sim::Time extra_latency,
+                   std::function<void(sim::Time)> complete);
 
   // Transport implementation (machine.cpp).
   sim::CoTask<void> do_send(Rank& sender, int dst_world, int ctx, int tag,

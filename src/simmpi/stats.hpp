@@ -23,6 +23,13 @@ namespace dpml::simmpi {
 struct CollectiveStats {
   std::uint64_t ops = 0;        // rank-level participations
   std::int64_t rank_time = 0;   // summed per-rank elapsed ticks
+  // Fabric run metadata (fabric_level == links only): whether the flow-level
+  // link model carried this collective's traffic, the cluster's declared
+  // oversubscription factor, and the busiest link's time-averaged
+  // utilization seen so far — benches emit these in their JSON output.
+  bool fabric_links = false;
+  double oversubscription = 1.0;
+  double max_link_util = 0.0;
 };
 
 // Per-(collective kind, algorithm label) arrival/departure imbalance, the

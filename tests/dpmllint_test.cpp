@@ -223,6 +223,20 @@ TEST(LintFixtures, SuppressedFixtureIsClean) {
 // ---------------------------------------------------------------------------
 // The tree invariant: src/ and the tools lint clean.
 
+// The fabric subsystem is part of the linted tree (it leans on the exact
+// idioms the linter polices: deterministic iteration, engine-time only).
+TEST(LintTree, FabricSubsystemIsCovered) {
+  const auto files = dpml::lint::collect_sources({kRoot + "/src/fabric"});
+  ASSERT_GE(files.size(), 2u) << "src/fabric enumeration looks broken";
+  for (const std::string& f : files) {
+    const auto fs = dpml::lint::lint_file(f);
+    for (const Finding& v : fs) {
+      ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                    << v.message;
+    }
+  }
+}
+
 TEST(LintTree, WholeSourceTreeIsClean) {
   const auto files = dpml::lint::collect_sources({kRoot + "/src"});
   ASSERT_GT(files.size(), 50u) << "source enumeration looks broken";

@@ -267,6 +267,30 @@ TEST(PerturbRepro, DifferentSeedsRealizeDifferentNoise) {
   EXPECT_NE(a, b);
 }
 
+TEST(PerturbRepro, FabricRunsAreSeedDeterministic) {
+  // The clean-path guarantee extends to fabric_level=links: the flow
+  // allocator iterates in deterministic order, so identical seeds must
+  // reproduce identical simulated times even with perturbations active.
+  const std::string spec =
+      "jitter=lognormal:sigma=0.3;link=bw=0.5;seed=11";
+  auto opt = perturbed_opt(spec, 2);
+  opt.fabric = fabric::FabricLevel::links;
+  const double a = measure_dpml(opt, 65536);
+  const double b = measure_dpml(opt, 65536);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PerturbEffect, LinkDegradationScalesFabricCapacities) {
+  // Under the flow fabric, link rules act as per-link capacity scaling
+  // rather than LogGP wire stretching — the degraded run must still be
+  // strictly slower than the neutral bw=1 baseline.
+  auto clean = perturbed_opt("link=bw=1");
+  clean.fabric = fabric::FabricLevel::links;
+  auto degraded = perturbed_opt("link=bw=0.25");
+  degraded.fabric = fabric::FabricLevel::links;
+  EXPECT_GT(measure_dpml(degraded, 65536), measure_dpml(clean, 65536));
+}
+
 TEST(PerturbEffect, JitterSpikesSlowTheRun) {
   const double clean = measure_dpml(perturbed_opt("link=bw=1"));
   // prob=1 fires the spike on every compute charge: strictly slower.

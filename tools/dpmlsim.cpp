@@ -29,6 +29,7 @@
 #include "apps/dl.hpp"
 #include "apps/replay.hpp"
 #include "core/selection.hpp"
+#include "fabric/fabric.hpp"
 #include "model/fit.hpp"
 #include "perturb/spec.hpp"
 #include "net/cluster.hpp"
@@ -70,7 +71,14 @@ int usage() {
       "                exact recv capacities, slot-leak and tracer "
       "span-balance\n"
       "                checks. See docs/CHECKING.md)\n"
-      "              --list-algorithms  (print the collective registry)\n";
+      "              --fabric[=links]  (flow-level congested fabric: every\n"
+      "                inter-node payload becomes a flow over explicit\n"
+      "                node/leaf/core links with max-min fair sharing,\n"
+      "                enforcing the cluster's oversubscription. See\n"
+      "                docs/MODEL.md §7)\n"
+      "              --list-algorithms  (print the collective registry)\n"
+      "              --list-clusters  (print presets with derived fabric\n"
+      "                link counts and capacities)\n";
   return 2;
 }
 
@@ -112,6 +120,34 @@ int cmd_list_algorithms() {
   return 0;
 }
 
+int cmd_list_clusters() {
+  // Every preset (plus the unit-test config), with the fabric link plan its
+  // nodes_per_leaf / oversubscription derive to — the enforced capacities
+  // under --fabric.
+  util::Table t({"cluster", "nodes", "ppn", "nodes/leaf", "oversub", "leaves",
+                 "ecmp ways", "edge (GB/s)", "core way (GB/s)",
+                 "leaf core (GB/s)", "links"});
+  std::vector<net::ClusterConfig> cfgs = net::all_clusters();
+  cfgs.push_back(net::test_cluster());
+  for (const net::ClusterConfig& cfg : cfgs) {
+    const auto topo = fabric::FabricTopo::derive(cfg, cfg.total_nodes);
+    t.row()
+        .cell(cfg.name)
+        .cell(static_cast<long long>(cfg.total_nodes))
+        .cell(static_cast<long long>(cfg.max_ppn()))
+        .cell(static_cast<long long>(topo.nodes_per_leaf))
+        .cell(cfg.oversubscription, 2)
+        .cell(static_cast<long long>(topo.leaves))
+        .cell(static_cast<long long>(topo.ecmp_ways))
+        .cell(topo.node_link_gbps, 1)
+        .cell(topo.core_way_gbps, 2)
+        .cell(topo.leaf_core_gbps(), 1)
+        .cell(static_cast<long long>(topo.num_links()));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 core::MeasureOptions measure_opts(const util::Args& args) {
   core::MeasureOptions opt;
   opt.iterations = static_cast<int>(args.get_int("iterations", 3));
@@ -127,6 +163,13 @@ core::MeasureOptions measure_opts(const util::Args& args) {
     opt.check = (level.empty() || level == "true")
                     ? check::CheckLevel::basic
                     : check::check_level_by_name(level);
+  }
+  if (args.has("fabric")) {
+    const std::string level = args.get("fabric", "");
+    // Bare "--fabric" parses as the boolean "true": treat it as links.
+    opt.fabric = (level.empty() || level == "true")
+                     ? fabric::FabricLevel::links
+                     : fabric::fabric_level_by_name(level);
   }
   return opt;
 }
@@ -160,11 +203,13 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   // distribution, so the table widens to median/p99 plus the measured
   // arrival imbalance.
   const bool perturbed = !opt.perturb.empty() || opt.repetitions > 1;
+  const bool fabric_on = opt.fabric != fabric::FabricLevel::none;
   std::vector<std::string> header{"msg size", "design", "latency (us)"};
   if (perturbed) {
     header.insert(header.end(),
                   {"median (us)", "p99 (us)", "entry skew (us)", "wait (us)"});
   }
+  if (fabric_on) header.push_back("max link util");
   header.push_back("verified");
   util::Table t(header);
   for (std::size_t bytes : sizes) {
@@ -181,6 +226,7 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
           .cell(r.entry_skew_avg_us, 2)
           .cell(r.wait_avg_us, 2);
     }
+    if (fabric_on) t.cell(r.max_link_util, 3);
     t.cell(std::string(r.verified ? "yes" : "NO"));
   }
   std::cout << coll::coll_kind_name(kind) << " "
@@ -327,6 +373,12 @@ int cmd_fit(const net::ClusterConfig& cfg) {
       std::string("shared-memory ns/byte"));
   t.row().cell(std::string("c")).cell(f.c * 1e9, 4).cell(
       std::string("reduction ns/byte"));
+  if (cfg.oversubscription > 1.0 && cfg.total_nodes > cfg.nodes_per_leaf) {
+    t.row()
+        .cell(std::string("os"))
+        .cell(model::fit_oversub_factor(cfg), 3)
+        .cell(std::string("core oversubscription slowdown (--fabric)"));
+  }
   std::cout << "Section-5 model constants fitted from the simulated "
             << "transport of cluster " << cfg.name << "\n";
   t.print(std::cout);
@@ -443,6 +495,7 @@ int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
   if (args.get_bool("list-algorithms", false)) return cmd_list_algorithms();
+  if (args.get_bool("list-clusters", false)) return cmd_list_clusters();
   if (args.positional().empty()) return usage();
   const std::string cmd = args.positional()[0];
   try {
