@@ -1,21 +1,34 @@
 // Shared infrastructure for the figure-reproduction benches.
 //
 // Every bench binary does two things:
-//   1. registers google-benchmark entries whose reported time is the
-//      *simulated* latency (manual time, one deterministic iteration), and
+//   1. registers benchmark points whose reported time is the *simulated*
+//      latency (manual time, one deterministic iteration), and
 //   2. after the run, prints the paper-figure table (rows = message sizes,
-//      columns = configurations) plus a CSV block, built from the results
-//      collected while the benchmarks executed.
+//      columns = configurations) plus a CSV block.
+//
+// Points are registered lazily: run_benchmarks() first evaluates every
+// pending point through the deterministic sweep executor (--jobs N /
+// DPML_JOBS fan the fully independent simulations across host threads;
+// values land in pre-sized slots, so the tables are byte-identical to a
+// serial run), then hands google-benchmark entries that simply report the
+// precomputed values. A host-side perf summary (points, jobs, wall time,
+// aggregate simulated events/sec) is printed after the figure tables.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "core/measure.hpp"
 #include "core/tuner.hpp"
 #include "util/table.hpp"
@@ -84,37 +97,120 @@ class SeriesStore {
   std::map<std::string, std::size_t> col_index_;
 };
 
-// Register a single-iteration manual-time benchmark that evaluates `fn`
-// (microseconds of simulated time) and records it in `store`.
+// Flags shared by every bench driver but unknown to google-benchmark.
+// strip_common_flags removes them from argv before Initialize sees them:
+//   --smoke        tiny CI shape (driver-interpreted)
+//   --jobs N       sweep-executor width (also --jobs=N; sets the process
+//                  default, so every measure() call fans its reps out too)
+struct BenchFlags {
+  bool smoke = false;
+};
+
+inline BenchFlags strip_common_flags(int& argc, char** argv) {
+  BenchFlags flags;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      core::set_default_jobs(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      core::set_default_jobs(std::atoi(argv[i] + 7));
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  return flags;
+}
+
+// A benchmark point waiting for the executor pass in run_benchmarks().
+struct PendingPoint {
+  std::string name;
+  SeriesStore* store;
+  std::string row;
+  std::string col;
+  std::function<double()> fn;
+};
+
+inline std::vector<PendingPoint>& pending_points() {
+  static std::vector<PendingPoint> points;
+  return points;
+}
+
+// Simulated engine events accumulated by the measure helpers below; feeds
+// the events/sec line of the perf summary. Atomic: points run concurrently.
+inline std::atomic<std::uint64_t>& sim_event_counter() {
+  static std::atomic<std::uint64_t> events{0};
+  return events;
+}
+
+// Register a single-iteration manual-time benchmark point that evaluates
+// `fn` (microseconds of simulated time) and records it in `store`.
+// Evaluation is deferred to run_benchmarks(), which fans all pending points
+// across the sweep executor before google-benchmark reports them.
 inline void register_point(const std::string& name, SeriesStore& store,
                            const std::string& row, const std::string& col,
                            std::function<double()> fn) {
-  benchmark::RegisterBenchmark(
-      name.c_str(),
-      [&store, row, col, fn](benchmark::State& st) {
-        const double us = fn();
-        for (auto _ : st) {
-          st.SetIterationTime(us * 1e-6);
-        }
-        store.put(row, col, us);
-      })
-      ->UseManualTime()
-      ->Iterations(1)
-      ->Unit(benchmark::kMicrosecond);
+  pending_points().push_back({name, &store, row, col, std::move(fn)});
 }
 
 // Convenience: latency of one allreduce spec (microseconds).
 inline double latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
                          std::size_t bytes, const core::AllreduceSpec& spec) {
-  return core::measure_allreduce(cfg, nodes, ppn, bytes, spec, default_opts())
-      .avg_us;
+  const core::MeasureResult r =
+      core::measure_allreduce(cfg, nodes, ppn, bytes, spec, default_opts());
+  sim_event_counter() += r.events;
+  return r.avg_us;
 }
 
 inline int run_benchmarks(int argc, char** argv) {
+  // Drivers that interpret --smoke strip it themselves (idempotent); this
+  // catches --jobs for the drivers that pass argv straight through.
+  strip_common_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // Evaluate every pending point through the sweep executor: each point is
+  // an independent deterministic simulation committed into its own slot, so
+  // the values (and every table built from them) are byte-identical to the
+  // serial order for any --jobs width.
+  std::vector<PendingPoint>& points = pending_points();
+  const core::Executor executor;
+  sim_event_counter() = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<double> values = executor.map<double>(
+      points.size(), [&](std::size_t i) { return points[i].fn(); });
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PendingPoint& p = points[i];
+    p.store->put(p.row, p.col, values[i]);
+    const double us = values[i];
+    benchmark::RegisterBenchmark(p.name.c_str(),
+                                 [us](benchmark::State& st) {
+                                   for (auto _ : st) {
+                                     st.SetIterationTime(us * 1e-6);
+                                   }
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  std::cout << "\n[perf] " << points.size() << " points, jobs="
+            << executor.jobs() << ", wall " << wall_s << " s";
+  const std::uint64_t events = sim_event_counter().load();
+  if (events > 0 && wall_s > 0.0) {
+    std::cout << ", " << events << " simulated events ("
+              << (static_cast<double>(events) / wall_s) / 1e6 << " Mev/s)";
+  }
+  std::cout << "\n";
+  points.clear();
   return 0;
 }
 

@@ -96,20 +96,7 @@ std::string leader_col(int l) { return "l=" + std::to_string(l); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  // google-benchmark rejects flags it does not know, so strip --smoke
-  // before Initialize sees it.
-  bool smoke = false;
-  int keep = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      argv[keep++] = argv[i];
-    }
-  }
-  argc = keep;
-
-  const Config c = make_config(smoke);
+  const Config c = make_config(benchx::strip_common_flags(argc, argv).smoke);
   // One latency store per message size: rows = fabric config, cols = leaders.
   std::vector<benchx::SeriesStore> stores(c.sizes.size());
   const std::string loggp = "loggp";

@@ -98,20 +98,7 @@ std::string skew_row(double skew_us) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // google-benchmark rejects flags it does not know, so strip --smoke
-  // before Initialize sees it.
-  bool smoke = false;
-  int keep = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      argv[keep++] = argv[i];
-    }
-  }
-  argc = keep;
-
-  const Config c = make_config(smoke);
+  const Config c = make_config(benchx::strip_common_flags(argc, argv).smoke);
   // One latency store per message size: rows = skew level, cols = design.
   std::vector<benchx::SeriesStore> stores(c.sizes.size());
 

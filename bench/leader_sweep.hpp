@@ -4,9 +4,14 @@
 // Expected shape (paper §6.2): below ~1KB extra leaders do not help (and can
 // hurt slightly); for medium and large messages more leaders win, with
 // ~4-5x at 512KB for 16 leaders vs 1.
+//
+// Flags: --smoke shrinks the shape and size sweep for CI; --jobs N fans the
+// fully independent points across host threads (tables stay byte-identical).
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "net/cluster.hpp"
@@ -16,10 +21,16 @@ namespace dpml::benchx {
 inline int run_leader_sweep(const std::string& figure,
                             const net::ClusterConfig& cfg, int nodes, int ppn,
                             int argc, char** argv) {
+  const BenchFlags flags = strip_common_flags(argc, argv);
+  const int use_nodes = flags.smoke ? std::min(nodes, 4) : nodes;
+  const int use_ppn = flags.smoke ? std::min(ppn, 8) : ppn;
+  std::vector<std::size_t> sizes = paper_sizes();
+  if (flags.smoke) sizes = {4, 1024, 65536, 524288};
+
   static SeriesStore store;
   const int leader_counts[] = {1, 2, 4, 8, 16};
 
-  for (std::size_t bytes : paper_sizes()) {
+  for (std::size_t bytes : sizes) {
     for (int l : leader_counts) {
       core::AllreduceSpec spec;
       spec.algo = core::Algorithm::dpml;
@@ -28,21 +39,21 @@ inline int run_leader_sweep(const std::string& figure,
                                "/leaders:" + std::to_string(l);
       register_point(name, store, util::format_bytes(bytes),
                      "l=" + std::to_string(l), [=]() {
-                       return latency_us(cfg, nodes, ppn, bytes, spec);
+                       return latency_us(cfg, use_nodes, use_ppn, bytes, spec);
                      });
     }
     core::AllreduceSpec mv;
     mv.algo = core::Algorithm::mvapich2;
     register_point(figure + "/bytes:" + util::format_bytes(bytes) + "/mvapich2",
                    store, util::format_bytes(bytes), "mvapich2", [=]() {
-                     return latency_us(cfg, nodes, ppn, bytes, mv);
+                     return latency_us(cfg, use_nodes, use_ppn, bytes, mv);
                    });
   }
 
   const int rc = run_benchmarks(argc, argv);
   store.print(figure + " — MPI_Allreduce latency (us), " +
-                  std::to_string(nodes) + " nodes x " + std::to_string(ppn) +
-                  " ppn, cluster " + cfg.name,
+                  std::to_string(use_nodes) + " nodes x " +
+                  std::to_string(use_ppn) + " ppn, cluster " + cfg.name,
               "msg size");
   const double l1 = store.at("512K", "l=1");
   const double l16 = store.at("512K", "l=16");

@@ -1,11 +1,13 @@
 #include "core/measure.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "simmpi/verify.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -55,14 +57,33 @@ int alltoall_block_id(int src, int dst, int world) { return src * world + dst; }
 
 namespace {
 
+// Everything one repetition produces, committed into its own slot by the
+// sweep executor and merged serially in rep order afterwards — so the merged
+// MeasureResult is a pure function of (options, rep count), independent of
+// how many host threads ran the sweep.
+struct RepOutcome {
+  std::vector<sim::Time> samples;
+  std::uint64_t events = 0;
+  bool verified = true;
+  bool fabric_links = false;
+  double max_link_util = 0.0;
+  std::uint64_t imbalance_ops = 0;
+  sim::Time imb_entry = 0;
+  sim::Time imb_exit = 0;
+  sim::Time imb_wait = 0;
+  sim::Time sim_end = 0;  // final simulated time of this machine
+  sim::EnginePerf engine_perf;
+};
+
 // One repetition: fresh machine (perturbation seed shifted by `rep`), warmup
-// + measured iterations, data verification. Appends this machine's samples
-// and merges events/verified/imbalance into `res`.
-void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
-                 int ppn, std::size_t bytes, const coll::CollSpec& spec,
-                 const MeasureOptions& opt, int rep,
-                 std::vector<sim::Time>& all_samples, MeasureResult& res,
-                 sim::Time& imb_entry, sim::Time& imb_exit, sim::Time& imb_wait) {
+// + measured iterations, data verification. Pure function of its arguments:
+// touches no state outside the returned RepOutcome, so repetitions can run
+// on any thread in any order.
+RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
+                       int nodes, int ppn, std::size_t bytes,
+                       const coll::CollSpec& spec, const MeasureOptions& opt,
+                       int rep) {
+  RepOutcome out;
   const std::size_t esize = simmpi::dtype_size(opt.dt);
   const std::size_t count = bytes / esize;
   const coll::CollDescriptor& desc =
@@ -144,22 +165,20 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
   });
 
   DPML_CHECK(static_cast<int>(sh->samples.size()) == opt.iterations);
-  all_samples.insert(all_samples.end(), sh->samples.begin(),
-                     sh->samples.end());
-  res.events += machine.engine().events_processed();
+  out.samples = std::move(sh->samples);
+  out.events = machine.engine().events_processed();
+  out.sim_end = machine.engine().now();
+  out.engine_perf = machine.engine().perf();
   if (const fabric::FlowFabric* ff = machine.flow_fabric()) {
-    res.fabric_links = true;
-    res.oversubscription = cfg.oversubscription;
-    res.max_link_util =
-        std::max(res.max_link_util,
-                 ff->max_avg_link_utilization(machine.engine().now()));
+    out.fabric_links = true;
+    out.max_link_util = ff->max_avg_link_utilization(machine.engine().now());
   }
   for (const auto& [key, st] : machine.imbalance_stats()) {
     (void)key;
-    res.imbalance_ops += st.ops;
-    imb_entry += st.entry_skew_total;
-    imb_exit += st.exit_skew_total;
-    imb_wait += st.wait_total;
+    out.imbalance_ops += st.ops;
+    out.imb_entry += st.entry_skew_total;
+    out.imb_exit += st.exit_skew_total;
+    out.imb_wait += st.wait_total;
   }
 
   if (opt.with_data) {
@@ -169,7 +188,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
                                                      opt.op, opt.seed);
         for (int w = 0; w < world; ++w) {
           if (recvbufs[static_cast<std::size_t>(w)] != ref) {
-            res.verified = false;
+            out.verified = false;
             break;
           }
         }
@@ -178,7 +197,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
       case CollKind::reduce: {
         const auto ref = simmpi::reference_allreduce(opt.dt, count, world,
                                                      opt.op, opt.seed);
-        res.verified = recvbufs[static_cast<std::size_t>(opt.root)] == ref;
+        out.verified = recvbufs[static_cast<std::size_t>(opt.root)] == ref;
         break;
       }
       case CollKind::bcast: {
@@ -186,14 +205,14 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
             simmpi::make_operand(opt.dt, count, opt.root, opt.op, opt.seed);
         for (int w = 0; w < world; ++w) {
           if (recvbufs[static_cast<std::size_t>(w)] != payload) {
-            res.verified = false;
+            out.verified = false;
             break;
           }
         }
         break;
       }
       case CollKind::alltoall: {
-        for (int w = 0; w < world && res.verified; ++w) {
+        for (int w = 0; w < world && out.verified; ++w) {
           const auto& rb = recvbufs[static_cast<std::size_t>(w)];
           for (int src = 0; src < world; ++src) {
             const auto block = simmpi::make_operand(
@@ -201,7 +220,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
                 opt.seed);
             if (std::memcmp(rb.data() + static_cast<std::size_t>(src) * bytes,
                             block.data(), bytes) != 0) {
-              res.verified = false;
+              out.verified = false;
               break;
             }
           }
@@ -210,6 +229,7 @@ void measure_rep(CollKind kind, const net::ClusterConfig& cfg, int nodes,
       }
     }
   }
+  return out;
 }
 
 }  // namespace
@@ -225,13 +245,59 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
   DPML_CHECK_MSG(opt.repetitions >= 1, "measure needs at least one repetition");
 
   MeasureResult res;
+
+  // Fan the independent repetitions out across the sweep executor. Each rep
+  // builds its own Machine/Engine from an explicitly derived seed
+  // (perturb.seed + rep) and commits into its own pre-sized slot; the merge
+  // below runs serially in rep order, so the result is byte-identical for
+  // any jobs count (locked by tests/executor_test.cpp).
+  const Executor executor(opt.jobs);
+  const auto wall_start = std::chrono::steady_clock::now();  // dpmllint: allow(wall-clock)
+  const std::vector<RepOutcome> reps = executor.map<RepOutcome>(
+      static_cast<std::size_t>(opt.repetitions), [&](std::size_t rep) {
+        return measure_rep(kind, cfg, nodes, ppn, bytes, spec, opt,
+                           static_cast<int>(rep));
+      });
+  const auto wall_end = std::chrono::steady_clock::now();  // dpmllint: allow(wall-clock)
+
   std::vector<sim::Time> samples;
   samples.reserve(static_cast<std::size_t>(opt.repetitions) *
                   static_cast<std::size_t>(opt.iterations));
   sim::Time imb_entry = 0, imb_exit = 0, imb_wait = 0;
-  for (int rep = 0; rep < opt.repetitions; ++rep) {
-    measure_rep(kind, cfg, nodes, ppn, bytes, spec, opt, rep, samples, res,
-                imb_entry, imb_exit, imb_wait);
+  sim::Time sim_total = 0;
+  sim::PoolStats callback_pool, payload_pool;
+  for (const RepOutcome& rep : reps) {
+    samples.insert(samples.end(), rep.samples.begin(), rep.samples.end());
+    res.events += rep.events;
+    res.verified = res.verified && rep.verified;
+    if (rep.fabric_links) {
+      res.fabric_links = true;
+      res.oversubscription = cfg.oversubscription;
+      res.max_link_util = std::max(res.max_link_util, rep.max_link_util);
+    }
+    res.imbalance_ops += rep.imbalance_ops;
+    imb_entry += rep.imb_entry;
+    imb_exit += rep.imb_exit;
+    imb_wait += rep.imb_wait;
+    sim_total += rep.sim_end;
+    res.perf.peak_live_events =
+        std::max(res.perf.peak_live_events, rep.engine_perf.peak_live_events);
+    callback_pool.merge(rep.engine_perf.callback_pool);
+    payload_pool.merge(rep.engine_perf.payload_pool);
+  }
+  res.perf.events = res.events;
+  res.perf.callback_pool_hit_rate = callback_pool.hit_rate();
+  res.perf.payload_pool_hit_rate = payload_pool.hit_rate();
+  res.perf.sim_ms = sim::to_us(sim_total) / 1e3;
+  res.perf.jobs = executor.jobs();
+  res.perf.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  if (res.perf.wall_ms > 0.0) {
+    res.perf.events_per_sec =
+        static_cast<double>(res.events) / (res.perf.wall_ms / 1e3);
+    if (res.perf.sim_ms > 0.0) {
+      res.perf.wall_ms_per_sim_ms = res.perf.wall_ms / res.perf.sim_ms;
+    }
   }
 
   sim::Time total = 0;

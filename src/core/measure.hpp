@@ -41,6 +41,29 @@ struct MeasureOptions {
   // `none` keeps the classic LogGP transport (bit-identical results);
   // `links` enforces per-link capacities with max-min fair sharing.
   fabric::FabricLevel fabric = fabric::FabricLevel::none;
+  // Host threads for the repetition sweep (0 resolves to
+  // core::default_jobs(), i.e. dpmlsim/bench --jobs or DPML_JOBS). Every
+  // repetition is an independent Machine with an explicitly derived seed
+  // (perturb.seed + rep) committed into its own result slot, so any jobs
+  // value produces byte-identical MeasureResults (see docs/MODEL.md §8).
+  int jobs = 0;
+};
+
+// Host-side performance counters for one measure_collective call, aggregated
+// over all repetitions. Every field except the wall-clock-derived ones
+// (wall_ms, events_per_sec, wall_ms_per_sim_ms, jobs) is a deterministic
+// function of the simulation and stays identical across jobs counts.
+struct MeasurePerf {
+  std::uint64_t events = 0;            // engine events, summed over reps
+  std::uint64_t peak_live_events = 0;  // event-heap high-water mark (max)
+  double callback_pool_hit_rate = 0.0; // pooled event records served warm
+  double payload_pool_hit_rate = 0.0;  // recycled message payload buffers
+  double sim_ms = 0.0;                 // simulated time, summed over reps
+  // Host wall clock for the whole repetition sweep (not deterministic).
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double wall_ms_per_sim_ms = 0.0;
+  int jobs = 1;                        // resolved worker count used
 };
 
 struct MeasureResult {
@@ -63,6 +86,8 @@ struct MeasureResult {
   bool fabric_links = false;
   double oversubscription = 1.0;
   double max_link_util = 0.0;
+  // Host-side performance counters (dpmlsim --perf, bench summaries).
+  MeasurePerf perf;
 };
 
 // Measure any registered collective. `bytes` is the message size per rank;

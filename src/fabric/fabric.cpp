@@ -188,7 +188,7 @@ FlowFabric::FlowId FlowFabric::launch(const int* links, int nlinks,
   if (bytes == 0) {
     // Control-sized flows occupy no bandwidth; complete at the same instant
     // via a fresh event, preserving schedule-order determinism.
-    engine_.schedule_fn(now, [done = std::move(done), now]() { done(now); });
+    engine_.schedule_call(now, [done = std::move(done), now]() { done(now); });
     return id;
   }
   advance(now);
@@ -340,7 +340,7 @@ void FlowFabric::reschedule(sim::Time now) {
                          std::ceil(eta_s * static_cast<double>(sim::kSecond))));
     const FlowId fid = id;
     const std::uint64_t gen = f.gen;
-    engine_.schedule_fn(eta,
+    engine_.schedule_call(eta,
                         [this, fid, gen]() { on_completion_event(fid, gen); });
   }
 }
@@ -371,7 +371,7 @@ void FlowFabric::set_capacity_scaler(
 
 void FlowFabric::schedule_reallocations(const std::vector<sim::Time>& times) {
   for (sim::Time t : times) {
-    engine_.schedule_fn(t, [this]() {
+    engine_.schedule_call(t, [this]() {
       const sim::Time now = engine_.now();
       advance(now);
       recompute(now);

@@ -148,7 +148,7 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
     // injection pipe and the flow.
     const auto tx = r.node().tx(my_hca).acquire_grant(t0, nic.per_msg_tx);
     const int my_node = r.node_id();
-    eng.schedule_fn(tx.start, [this, ff, my_node, bytes, inj_done,
+    eng.schedule_call(tx.start, [this, ff, my_node, bytes, inj_done,
                                contribute = std::move(contribute)]() mutable {
       ff->start_uplink_flow(
           my_node, bytes, machine_.config().nic.link_bw,
@@ -157,14 +157,14 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
             const net::NicModel& n = machine_.config().nic;
             const Time at_switch = std::max(inj_done, flow_done) +
                                    n.wire_latency + n.switch_latency;
-            machine_.engine().schedule_fn(at_switch, std::move(contribute));
+            machine_.engine().schedule_call(at_switch, std::move(contribute));
           });
     });
   } else {
     const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
     const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
                            nic.switch_latency;
-    eng.schedule_fn(at_switch, std::move(contribute));
+    eng.schedule_call(at_switch, std::move(contribute));
   }
   co_await st.arrivals.wait();
 
@@ -179,7 +179,7 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
         (g.levels - 1) * (nic.wire_latency + nic.switch_latency);
     st.finish = st.max_arrival + g.levels * per_level + inter_level;
     // The op slot frees once the tree has produced the result.
-    eng.schedule_fn(st.finish, [this]() { op_slots_.release(); });
+    eng.schedule_call(st.finish, [this]() { op_slots_.release(); });
   }
 
   // Multicast down: top switch -> my leaf -> my node, then normal RX path.
@@ -191,26 +191,26 @@ sim::CoTask<void> SharpFabric::allreduce(simmpi::Rank& r, const Group& g,
     // Flow-fabric download: the result leaves the tree at st.finish as a
     // leaf->node flow; delivery adds the multicast path latency and the RX
     // per-message cost.
-    eng.schedule_fn(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
+    eng.schedule_call(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
                                 delivered]() {
       ff->start_downlink_flow(
           my_node, bytes, machine_.config().nic.link_bw,
           [this, my_node, my_hca, down_latency, delivered](Time flow_done) {
-            machine_.engine().schedule_fn(
+            machine_.engine().schedule_call(
                 flow_done + down_latency, [this, my_node, my_hca, delivered]() {
                   const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
                       machine_.engine().now(), machine_.config().nic.per_msg_tx);
-                  machine_.engine().schedule_fn(rx_done,
+                  machine_.engine().schedule_call(rx_done,
                                                 [delivered]() { delivered->post(); });
                 });
           });
     });
   } else {
     const Time down_head = st.finish + down_latency;
-    eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
+    eng.schedule_call(down_head, [this, my_node, my_hca, occupancy, delivered]() {
       const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
           machine_.engine().now(), occupancy);
-      machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
+      machine_.engine().schedule_call(rx_done, [delivered]() { delivered->post(); });
     });
   }
   co_await delivered->wait();
@@ -277,7 +277,7 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
     if (ff != nullptr) {
       const auto tx = r.node().tx(my_hca).acquire_grant(t0, nic.per_msg_tx);
       const int my_node = r.node_id();
-      eng.schedule_fn(tx.start, [this, ff, my_node, bytes, inj_done,
+      eng.schedule_call(tx.start, [this, ff, my_node, bytes, inj_done,
                                  arrive = std::move(arrive)]() mutable {
         ff->start_uplink_flow(
             my_node, bytes, machine_.config().nic.link_bw,
@@ -286,14 +286,14 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
               const net::NicModel& n = machine_.config().nic;
               const Time at_switch = std::max(inj_done, flow_done) +
                                      n.wire_latency + n.switch_latency;
-              machine_.engine().schedule_fn(at_switch, std::move(arrive));
+              machine_.engine().schedule_call(at_switch, std::move(arrive));
             });
       });
     } else {
       const auto tx = r.node().tx(my_hca).acquire_grant(t0, occupancy);
       const Time at_switch = std::max(inj_done, tx.done) + nic.wire_latency +
                              nic.switch_latency;
-      eng.schedule_fn(at_switch, std::move(arrive));
+      eng.schedule_call(at_switch, std::move(arrive));
     }
   }
   co_await st.arrivals.wait();
@@ -303,7 +303,7 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
     // Multicast needs only forwarding, no per-level aggregation compute.
     st.finish = st.max_arrival +
                 (g.levels - 1) * (nic.wire_latency + nic.switch_latency);
-    eng.schedule_fn(st.finish, [this]() { op_slots_.release(); });
+    eng.schedule_call(st.finish, [this]() { op_slots_.release(); });
   }
 
   const Time down_latency = (g.levels - 1) * (nic.wire_latency +
@@ -312,26 +312,26 @@ sim::CoTask<void> SharpFabric::bcast(simmpi::Rank& r, const Group& g,
   auto delivered = std::make_shared<sim::Flag>(eng);
   const int my_node = r.node_id();
   if (ff != nullptr) {
-    eng.schedule_fn(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
+    eng.schedule_call(st.finish, [this, ff, my_node, my_hca, bytes, down_latency,
                                 delivered]() {
       ff->start_downlink_flow(
           my_node, bytes, machine_.config().nic.link_bw,
           [this, my_node, my_hca, down_latency, delivered](Time flow_done) {
-            machine_.engine().schedule_fn(
+            machine_.engine().schedule_call(
                 flow_done + down_latency, [this, my_node, my_hca, delivered]() {
                   const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
                       machine_.engine().now(), machine_.config().nic.per_msg_tx);
-                  machine_.engine().schedule_fn(rx_done,
+                  machine_.engine().schedule_call(rx_done,
                                                 [delivered]() { delivered->post(); });
                 });
           });
     });
   } else {
     const Time down_head = st.finish + down_latency;
-    eng.schedule_fn(down_head, [this, my_node, my_hca, occupancy, delivered]() {
+    eng.schedule_call(down_head, [this, my_node, my_hca, occupancy, delivered]() {
       const Time rx_done = machine_.node(my_node).rx(my_hca).acquire(
           machine_.engine().now(), occupancy);
-      machine_.engine().schedule_fn(rx_done, [delivered]() { delivered->post(); });
+      machine_.engine().schedule_call(rx_done, [delivered]() { delivered->post(); });
     });
   }
   co_await delivered->wait();

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/sync.hpp"
@@ -7,14 +8,25 @@
 
 namespace dpml::sim {
 
-void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
+void Engine::check_not_past(Time t) const {
   DPML_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
-  queue_.push(Event{t, seq_++, h, {}});
+}
+
+void Engine::push_event(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  if (heap_.size() > peak_live_events_) peak_live_events_ = heap_.size();
+}
+
+Engine::Event Engine::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
 }
 
 void Engine::schedule_fn(Time t, std::function<void()> fn) {
-  DPML_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
-  queue_.push(Event{t, seq_++, {}, std::move(fn)});
+  schedule_call(t, std::move(fn));
 }
 
 Engine::Detached Engine::run_detached(CoTask<void> task,
@@ -44,16 +56,15 @@ void Engine::record_error(std::exception_ptr e) {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event ev = pop_event();
     DPML_CHECK(ev.t >= now_);
     now_ = ev.t;
     ++events_processed_;
     if (ev.handle) {
       ev.handle.resume();
-    } else if (ev.fn) {
-      ev.fn();
+    } else if (ev.cb != nullptr) {
+      ev.cb->invoke(ev.cb, *this);
     }
     if (error_) break;
   }

@@ -5,15 +5,25 @@
 // clock only by awaiting delay()/until() or synchronization primitives.
 // Events scheduled for the same instant fire in schedule order (a strictly
 // monotone sequence number breaks ties), so runs are bitwise deterministic.
+//
+// Hot path: an event is either a coroutine resume (a bare handle, no
+// allocation) or a callback. Callbacks are type-erased records placed in a
+// per-engine slab pool (sim/pool.hpp), so steady-state scheduling allocates
+// nothing once the pool is warm; the event heap itself is an open-coded
+// binary heap over a reserved vector. schedule_fn() survives only as a
+// compatibility shim over schedule_call() — in-tree code must use the
+// pooled form (enforced by the dpmllint `schedule-fn` rule).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -21,16 +31,51 @@ namespace dpml::sim {
 
 class Flag;
 
+// Host-side performance counters for one engine run (events/sec and the
+// wall-clock fields are computed by the callers that own wall timing; the
+// engine itself never reads a wall clock).
+struct EnginePerf {
+  std::uint64_t events = 0;           // events processed
+  std::uint64_t peak_live_events = 0; // high-water mark of the event heap
+  PoolStats callback_pool;            // pooled callback records
+  PoolStats payload_pool;             // recycled payload buffers
+};
+
 class Engine {
  public:
-  Engine() = default;
+  Engine() { heap_.reserve(kInitialHeapReserve); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine() {
+    // Drop callback records still queued (a run abandoned by an error or a
+    // machine torn down mid-simulation) without invoking them.
+    for (Event& ev : heap_) {
+      if (ev.cb != nullptr) destroy_callback(ev.cb);
+    }
+    heap_.clear();
+  }
 
   Time now() const { return now_; }
 
   // Schedule a coroutine resume / callback at absolute time `t` (>= now).
-  void schedule_at(Time t, std::coroutine_handle<> h);
+  void schedule_at(Time t, std::coroutine_handle<> h) {
+    check_not_past(t);
+    push_event(Event{t, seq_++, h, nullptr});
+  }
+
+  // Schedule an arbitrary callable at absolute time `t`. The callable is
+  // moved into a pooled record: no heap allocation once the pool is warm.
+  template <typename F>
+  void schedule_call(Time t, F&& fn) {
+    check_not_past(t);
+    using Fn = std::decay_t<F>;
+    void* mem = callback_pool_.allocate(sizeof(Callback<Fn>));
+    auto* cb = ::new (mem) Callback<Fn>(std::forward<F>(fn));
+    push_event(Event{t, seq_++, {}, cb});
+  }
+
+  // Compatibility shim for pre-pool callers; new in-tree code must use
+  // schedule_call (dpmllint flags schedule_fn uses outside this header).
   void schedule_fn(Time t, std::function<void()> fn);
 
   // Awaitable that resumes the caller after `d` picoseconds.
@@ -54,6 +99,25 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
   int live_tasks() const { return live_tasks_; }
 
+  // Pre-size the event heap (e.g. for the expected number of concurrently
+  // scheduled rank events) so early growth does not reallocate mid-run.
+  void reserve_events(std::size_t n) {
+    if (n > heap_.capacity()) heap_.reserve(n);
+  }
+
+  // Recycled payload buffers for the transport (see sim/pool.hpp).
+  BufferPool& payload_pool() { return payload_pool_; }
+
+  // Counters for perf reporting (dpmlsim --perf, MeasureResult::perf).
+  EnginePerf perf() const {
+    EnginePerf p;
+    p.events = events_processed_;
+    p.peak_live_events = peak_live_events_;
+    p.callback_pool = callback_pool_.stats();
+    p.payload_pool = payload_pool_.stats();
+    return p;
+  }
+
   // Record a task failure (used by the spawn wrapper; also available to
   // runtime components that detect fatal conditions outside a task).
   void record_error(std::exception_ptr e);
@@ -67,18 +131,57 @@ class Engine {
   };
 
  private:
+  static constexpr std::size_t kInitialHeapReserve = 1024;
+  // Chunk size covering every in-tree schedule_call capture (the largest is
+  // the transport's routed-delivery lambda: this + a handful of ints/Times +
+  // a moved std::function continuation). Larger captures fall back to
+  // operator new, counted as pool misses.
+  static constexpr std::size_t kCallbackChunk = 192;
+
+  // Type-erased pooled callback record. invoke() moves the callable out,
+  // returns the record to the pool, then runs it — so a callback may throw
+  // or schedule further events without holding pool memory.
+  struct CallbackBase {
+    void (*invoke)(CallbackBase*, Engine&);
+    void (*dispose)(CallbackBase*, Engine&);
+  };
+  template <typename Fn>
+  struct Callback : CallbackBase {
+    explicit Callback(Fn f) : fn(std::move(f)) {
+      invoke = [](CallbackBase* b, Engine& e) {
+        auto* self = static_cast<Callback*>(b);
+        Fn local = std::move(self->fn);
+        self->~Callback();
+        e.callback_pool_.deallocate(self, sizeof(Callback));
+        local();
+      };
+      dispose = [](CallbackBase* b, Engine& e) {
+        auto* self = static_cast<Callback*>(b);
+        self->~Callback();
+        e.callback_pool_.deallocate(self, sizeof(Callback));
+      };
+    }
+    Fn fn;
+  };
+
+  void destroy_callback(CallbackBase* cb) { cb->dispose(cb, *this); }
+
+  // Small-footprint event record: trivially movable, no allocation.
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;      // preferred: resume directly
-    std::function<void()> fn;            // fallback: arbitrary callback
+    std::coroutine_handle<> handle;  // preferred: resume directly
+    CallbackBase* cb;                // pooled callback otherwise
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  // Min-heap order: earliest (t, seq) first.
+  static bool later(const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+
+  void check_not_past(Time t) const;
+  void push_event(Event ev);
+  Event pop_event();
 
   // Detached wrapper coroutine: owns the task, maintains the live count,
   // captures exceptions, posts the optional completion flag.
@@ -93,12 +196,15 @@ class Engine {
   };
   Detached run_detached(CoTask<void> task, std::shared_ptr<Flag> done);
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Event> heap_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t peak_live_events_ = 0;
   int live_tasks_ = 0;
   std::exception_ptr error_{};
+  SlabPool callback_pool_{kCallbackChunk};
+  BufferPool payload_pool_;
 };
 
 }  // namespace dpml::sim

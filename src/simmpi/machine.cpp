@@ -15,8 +15,13 @@ using sim::transfer_time;
 
 namespace {
 
-std::vector<std::byte> own_copy(ConstBytes data) {
-  return std::vector<std::byte>(data.begin(), data.end());
+// Owned copy of an in-flight payload, drawn from the engine's buffer pool
+// so steady-state messaging recycles storage instead of allocating.
+std::vector<std::byte> own_copy(sim::Engine& engine, ConstBytes data) {
+  if (data.empty()) return {};
+  std::vector<std::byte> buf = engine.payload_pool().acquire(data.size());
+  std::memcpy(buf.data(), data.data(), data.size());
+  return buf;
 }
 
 int ceil_div(int a, int b) { return (a + b - 1) / b; }
@@ -59,6 +64,7 @@ Rank::Rank(Machine& m, int world_rank)
   node_id_ = world_rank / m.ppn();
   local_rank_ = world_rank % m.ppn();
   socket_ = m.socket_of_local(local_rank_);
+  matcher_.set_recycler(&m.engine().payload_pool());
 }
 
 sim::Engine& Rank::engine() { return machine_->engine(); }
@@ -214,6 +220,10 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
   // plan validates nodes_per_leaf and oversubscription for every cluster,
   // whether or not the flow-level model is enabled for this run.
   (void)fabric::FabricTopo::derive(cfg_, nodes);
+  // Pre-size the event heap for the expected in-flight event population
+  // (every rank typically has a handful of outstanding events).
+  engine_.reserve_events(static_cast<std::size_t>(nodes) *
+                         static_cast<std::size_t>(ppn) * 8);
   for (int i = 0; i < nodes; ++i) nodes_.emplace_back(*this, i);
   std::vector<int> world_ranks(static_cast<std::size_t>(nodes) * ppn);
   for (int i = 0; i < static_cast<int>(world_ranks.size()); ++i) {
@@ -292,7 +302,7 @@ void Machine::route(int src_node, int dst_node, int dst_hca,
   if (same_leaf || leaf_up_.empty()) {
     const Time head = tx_start + topo_.path_latency(src_node, dst_node, nic) +
                       extra_latency;
-    engine_.schedule_fn(head, [this, dst_node, dst_hca, occupancy,
+    engine_.schedule_call(head, [this, dst_node, dst_hca, occupancy,
                                complete = std::move(complete)]() {
       const Time rx_done =
           node(dst_node).rx(dst_hca).acquire(engine_.now(), occupancy);
@@ -306,19 +316,19 @@ void Machine::route(int src_node, int dst_node, int dst_hca,
   const Time occ_core = transfer_time(bytes, core_bw_);
   const int src_leaf = topo_.leaf_of(src_node);
   const int dst_leaf = topo_.leaf_of(dst_node);
-  engine_.schedule_fn(tx_start + hop + extra_latency,
+  engine_.schedule_call(tx_start + hop + extra_latency,
                       [this, src_leaf, dst_leaf, dst_node, dst_hca, occupancy,
                        occ_core, hop, complete = std::move(complete)]() {
     const auto up = leaf_up_[static_cast<std::size_t>(src_leaf)].acquire_grant(
         engine_.now(), occ_core);
-    engine_.schedule_fn(up.start + hop, [this, dst_leaf, dst_node, dst_hca,
+    engine_.schedule_call(up.start + hop, [this, dst_leaf, dst_node, dst_hca,
                                          occupancy, occ_core, hop,
                                          complete]() {
       const auto dn =
           leaf_down_[static_cast<std::size_t>(dst_leaf)].acquire_grant(
               engine_.now(), occ_core);
       // core -> destination leaf switch -> destination node.
-      engine_.schedule_fn(
+      engine_.schedule_call(
           dn.start + cfg_.nic.switch_latency + cfg_.nic.wire_latency,
           [this, dst_node, dst_hca, occupancy, complete]() {
             const Time rx_done =
@@ -345,7 +355,7 @@ void Machine::fabric_send(int src_node, int src_hca, int dst_node, int dst_hca,
   // The NIC TX engine charges only its per-message cost: wire serialization
   // is the flow itself, draining at the max-min fair rate.
   const auto tx = node(src_node).tx(src_hca).acquire_grant(t0, nic.per_msg_tx);
-  engine_.schedule_fn(tx.start, [this, src_node, dst_node, dst_hca, bytes,
+  engine_.schedule_call(tx.start, [this, src_node, dst_node, dst_hca, bytes,
                                  rate_cap, path,
                                  complete = std::move(complete)]() {
     fabric_->start_flow(
@@ -354,7 +364,7 @@ void Machine::fabric_send(int src_node, int src_hca, int dst_node, int dst_hca,
          complete = std::move(complete)](Time flow_done) {
           // Last byte off the wire; the head latency and the RX per-message
           // cost complete the delivery.
-          engine_.schedule_fn(flow_done + path,
+          engine_.schedule_call(flow_done + path,
                               [this, dst_node, dst_hca, complete]() {
                                 const Time rx_done =
                                     node(dst_node).rx(dst_hca).acquire(
@@ -575,7 +585,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   }
 
   auto deliver_at = [this, dst_world](Time t, Envelope env) {
-    engine_.schedule_fn(t, [this, dst_world, env = std::move(env)]() mutable {
+    engine_.schedule_call(t, [this, dst_world, env = std::move(env)]() mutable {
       rank(dst_world).matcher().deliver(std::move(env));
     });
   };
@@ -608,7 +618,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.src = src_world;
     env.tag = tag;
     env.bytes = bytes;
-    env.data = own_copy(data);
+    env.data = own_copy(engine_, data);
     env.recv_cost = host.flag_latency;
     env.dtype = send_dtype;
     deliver_at(done + host.flag_latency, std::move(env));
@@ -655,7 +665,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.src = src_world;
     env.tag = tag;
     env.bytes = bytes;
-    env.data = own_copy(data);
+    env.data = own_copy(engine_, data);
     env.recv_cost = nic.o_recv;
     env.dtype = send_dtype;
     if (fabric_ != nullptr) {
@@ -708,7 +718,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
       const Time cts_arrive = engine_.now() + cfg_.nic.o_send +
                               topo_.path_latency(dst_node, src_node, cfg_.nic) +
                               cts_extra;
-      engine_.schedule_fn(cts_arrive, [state]() { state->cts.post(); });
+      engine_.schedule_call(cts_arrive, [state]() { state->cts.post(); });
     };
     double rts_lbw;
     Time rts_extra;
@@ -728,12 +738,14 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   Time extra;
   link_mods(lbw, extra);
   auto deliver_payload = [this, state,
-                          payload = own_copy(data)](Time rx_done) mutable {
-    engine_.schedule_fn(rx_done, [state, payload = std::move(payload)]() {
+                          payload = own_copy(engine_, data)](Time rx_done) mutable {
+    engine_.schedule_call(rx_done, [this, state,
+                                    payload = std::move(payload)]() mutable {
       PostedRecv& pr = *state->pr;
       if (!pr.truncated && !payload.empty() && !pr.out.empty()) {
         std::memcpy(pr.out.data(), payload.data(), payload.size());
       }
+      engine_.payload_pool().release(std::move(payload));
       pr.done->post();
     });
   };

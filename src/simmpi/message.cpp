@@ -23,6 +23,9 @@ void Matcher::complete(PostedRecv& pr, Envelope& env) {
   if (!pr.truncated && !env.data.empty() && !pr.out.empty()) {
     std::memcpy(pr.out.data(), env.data.data(), env.data.size());
   }
+  // The payload buffer is consumed here; hand its storage back to the
+  // engine's pool for the next message.
+  if (recycle_ != nullptr) recycle_->release(std::move(env.data));
   DPML_CHECK(pr.done != nullptr);
   pr.done->post();
 }

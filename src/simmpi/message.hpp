@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/pool.hpp"
 #include "sim/sync.hpp"
 #include "simmpi/datatype.hpp"
 
@@ -75,6 +76,10 @@ class Matcher {
   const std::deque<Envelope>& unexpected() const { return unexpected_; }
   const std::deque<PostedRecv*>& posted() const { return posted_; }
 
+  // Recycle consumed eager payload buffers through the engine's pool (set
+  // by the owning Rank; unset matchers free buffers normally).
+  void set_recycler(sim::BufferPool* pool) { recycle_ = pool; }
+
  private:
   static bool matches(const PostedRecv& pr, const Envelope& env) {
     return pr.ctx == env.ctx &&
@@ -83,11 +88,12 @@ class Matcher {
   }
 
   // Complete `pr` with `env` (copy payload for eager, trigger rendezvous).
-  static void complete(PostedRecv& pr, Envelope& env);
+  void complete(PostedRecv& pr, Envelope& env);
 
   std::deque<Envelope> unexpected_;
   std::deque<PostedRecv*> posted_;
   std::vector<sim::Flag*> watchers_;
+  sim::BufferPool* recycle_ = nullptr;
 };
 
 }  // namespace dpml::simmpi

@@ -27,19 +27,19 @@ TEST(Log, LevelGating) {
 TEST(EngineEdge, ScheduleDuringEventKeepsOrdering) {
   sim::Engine e;
   std::vector<int> order;
-  e.schedule_fn(sim::us(1.0), [&] {
+  e.schedule_call(sim::us(1.0), [&] {
     order.push_back(1);
     // Same-time event scheduled from within an event runs after it.
-    e.schedule_fn(e.now(), [&] { order.push_back(2); });
+    e.schedule_call(e.now(), [&] { order.push_back(2); });
   });
-  e.schedule_fn(sim::us(2.0), [&] { order.push_back(3); });
+  e.schedule_call(sim::us(2.0), [&] { order.push_back(3); });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EngineEdge, EventsProcessedCounts) {
   sim::Engine e;
-  for (int i = 0; i < 5; ++i) e.schedule_fn(sim::us(i), [] {});
+  for (int i = 0; i < 5; ++i) e.schedule_call(sim::us(i), [] {});
   e.run();
   EXPECT_EQ(e.events_processed(), 5u);
 }

@@ -149,6 +149,32 @@ TEST(LintAwaitTemp, EmptyBracesAndNamedLocalsAreFine) {
 }
 
 // ---------------------------------------------------------------------------
+// schedule-fn
+
+TEST(LintScheduleFn, ShimUseFiresOutsideEngine) {
+  const auto fs = lint("void f(Engine& e) { e.schedule_fn(t, cb); }\n");
+  ASSERT_EQ(count_rule(fs, "schedule-fn"), 1);
+  EXPECT_EQ(fs[0].line, 1);
+  // The pooled replacement and boundary-sharing identifiers are fine.
+  EXPECT_TRUE(lint("e.schedule_call(t, [] {});\n").empty());
+  EXPECT_TRUE(lint("void reschedule_fnord();\n").empty());
+}
+
+TEST(LintScheduleFn, EngineHeaderAndImplAreTheSanctionedHome) {
+  const std::string src = "void Engine::schedule_fn(Time t, F fn) {}\n";
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.hpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.cpp", src).empty());
+  EXPECT_EQ(count_rule(dpml::lint::lint_source("src/simmpi/machine.cpp", src),
+                       "schedule-fn"),
+            1);
+}
+
+TEST(LintScheduleFn, SuppressibleLikeEveryRule) {
+  EXPECT_TRUE(
+      lint("e.schedule_fn(t, cb);  // dpmllint: allow(schedule-fn)\n").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 
 TEST(LintSuppress, SameLinePrevLineAndFileWide) {
@@ -211,6 +237,13 @@ TEST(LintFixtures, AwaitTemporaryCaught) {
       dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/await_temp.cc");
   EXPECT_EQ(count_rule(fs, "await-temporary"), 2);
   for (const Finding& f : fs) EXPECT_EQ(f.rule, "await-temporary");
+}
+
+TEST(LintFixtures, ScheduleFnShimCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/schedule_fn.cc");
+  EXPECT_EQ(count_rule(fs, "schedule-fn"), 2);  // declaration + call site
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "schedule-fn");
 }
 
 TEST(LintFixtures, SuppressedFixtureIsClean) {

@@ -1,0 +1,284 @@
+// Determinism lock for the parallel sweep executor (docs/MODEL.md §8).
+//
+// Part 1 exercises the Executor itself: every index runs exactly once into
+// its own slot, nested sweeps degrade to serial, and failures are
+// serial-equivalent (the lowest-index error propagates; jobs above the first
+// failure are cancelled).
+//
+// Part 2 locks the measurement contract: for every registered algorithm of
+// every collective kind — including perturbed multi-repetition runs, strict
+// simcheck, and the flow-level fabric — MeasureResult is byte-identical for
+// any jobs count, because each repetition's seed is derived explicitly
+// (perturb.seed + rep) and committed into its own slot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.hpp"
+#include "coll/registry.hpp"
+#include "core/executor.hpp"
+#include "core/measure.hpp"
+#include "fabric/fabric.hpp"
+#include "net/cluster.hpp"
+#include "perturb/spec.hpp"
+
+namespace dpml {
+namespace {
+
+using coll::CollKind;
+using coll::CollRegistry;
+using coll::CollSpec;
+using core::Executor;
+
+// ---------------------------------------------------------------------------
+// Executor unit tests.
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;  // not a multiple of the worker count
+  std::vector<std::atomic<int>> calls(kN);
+  Executor(4).run(kN, [&](std::size_t i) { ++calls[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(calls[i].load(), 1) << i;
+}
+
+TEST(Executor, MapCommitsIntoSlotOrder) {
+  const std::vector<std::size_t> out = Executor(4).map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Executor, JobsResolutionAndClamping) {
+  core::set_default_jobs(3);
+  EXPECT_EQ(core::default_jobs(), 3);
+  EXPECT_EQ(Executor(0).jobs(), 3);   // 0 = the process default
+  EXPECT_EQ(Executor(-7).jobs(), 1);  // below 1 clamps
+  core::set_default_jobs(-2);
+  EXPECT_EQ(core::default_jobs(), 1);
+  core::set_default_jobs(1);
+}
+
+TEST(Executor, EmptyAndSingletonRuns) {
+  int calls = 0;
+  Executor(8).run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  Executor(8).run(1, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Executor, SerialErrorStopsAtFailingIndex) {
+  std::atomic<int> executed{0};
+  try {
+    Executor(1).run(64, [&](std::size_t i) {
+      ++executed;
+      if (i == 3) throw std::runtime_error("boom 3");
+    });
+    FAIL() << "expected the job error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // The serial path is an ordinary loop: indexes 0..3 ran, nothing after.
+  EXPECT_EQ(executed.load(), 4);
+}
+
+TEST(Executor, ParallelErrorIsLowestFailingIndex) {
+  // Indexes are claimed monotonically, so index 5 always starts (and records
+  // its error) even when 9 and 17 also fail on other workers.
+  std::vector<std::atomic<int>> calls(32);
+  try {
+    Executor(4).run(32, [&](std::size_t i) {
+      ++calls[i];
+      if (i == 5 || i == 9 || i == 17)
+        throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected the job error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");
+  }
+  // Serial-equivalence floor: everything below the first failure ran.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(calls[i].load(), 1) << i;
+}
+
+TEST(Executor, ParallelErrorCancelsTailJobs) {
+  // Each surviving job takes ~1ms, so by the time a handful have finished
+  // the index-2 failure is recorded and the remaining claims must bail out.
+  constexpr std::size_t kN = 512;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(Executor(4).run(kN,
+                               [&](std::size_t i) {
+                                 if (i == 2) throw std::runtime_error("stop");
+                                 ++executed;
+                                 std::this_thread::sleep_for(
+                                     std::chrono::milliseconds(1));
+                               }),
+               std::runtime_error);
+  EXPECT_LT(static_cast<std::size_t>(executed.load()), kN);
+}
+
+TEST(Executor, NestedExecutorRunsSerialOnWorkerThread) {
+  EXPECT_FALSE(core::in_executor_worker());
+  std::atomic<int> inner_total{0};
+  Executor(2).run(2, [&](std::size_t) {
+    EXPECT_TRUE(core::in_executor_worker());
+    const std::thread::id outer = std::this_thread::get_id();
+    // The nested sweep must run inline on this worker: same thread for
+    // every inner index, no second fan-out.
+    Executor(4).run(8, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), outer);
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+  EXPECT_FALSE(core::in_executor_worker());
+}
+
+// ---------------------------------------------------------------------------
+// Seed-derivation contract: repetition r of a measure() call runs with
+// perturbation seed perturb.seed + r, independent of every other repetition.
+
+core::MeasureOptions perturbed_opts(std::uint64_t seed, int reps) {
+  core::MeasureOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  opt.repetitions = reps;
+  opt.perturb = perturb::PerturbSpec::parse("skew=uniform:max_us=25;seed=" +
+                                            std::to_string(seed));
+  return opt;
+}
+
+TEST(ExecutorSeeds, RepetitionSeedIsBasePlusRepIndex) {
+  const net::ClusterConfig cfg = net::cluster_by_name("test");
+  core::AllreduceSpec spec;
+  spec.algo = core::Algorithm::dpml;
+  spec.leaders = 2;
+  const auto both =
+      core::measure_allreduce(cfg, 3, 4, 1024, spec, perturbed_opts(7, 2));
+  const auto rep0 =
+      core::measure_allreduce(cfg, 3, 4, 1024, spec, perturbed_opts(7, 1));
+  const auto rep1 =
+      core::measure_allreduce(cfg, 3, 4, 1024, spec, perturbed_opts(8, 1));
+  // The two-repetition sweep is exactly the union of the two single runs
+  // with explicitly shifted seeds: integer tallies add, extrema combine.
+  EXPECT_EQ(both.events, rep0.events + rep1.events);
+  EXPECT_EQ(both.imbalance_ops, rep0.imbalance_ops + rep1.imbalance_ops);
+  EXPECT_EQ(both.best_us, std::min(rep0.best_us, rep1.best_us));
+  EXPECT_EQ(both.worst_us, std::max(rep0.worst_us, rep1.worst_us));
+  // And the noise realizations genuinely differ between the derived seeds.
+  EXPECT_NE(rep0.avg_us, rep1.avg_us);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide byte-identity matrix: jobs=1 vs jobs=N.
+
+// Every deterministic MeasureResult field. The wall-clock-derived perf
+// fields (wall_ms, events_per_sec, wall_ms_per_sim_ms) and the resolved
+// jobs count are the only legitimate differences between runs.
+void expect_identical(const core::MeasureResult& a,
+                      const core::MeasureResult& b, const std::string& what) {
+  EXPECT_EQ(a.avg_us, b.avg_us) << what;
+  EXPECT_EQ(a.best_us, b.best_us) << what;
+  EXPECT_EQ(a.worst_us, b.worst_us) << what;
+  EXPECT_EQ(a.median_us, b.median_us) << what;
+  EXPECT_EQ(a.p99_us, b.p99_us) << what;
+  EXPECT_EQ(a.verified, b.verified) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  EXPECT_EQ(a.imbalance_ops, b.imbalance_ops) << what;
+  EXPECT_EQ(a.entry_skew_avg_us, b.entry_skew_avg_us) << what;
+  EXPECT_EQ(a.exit_skew_avg_us, b.exit_skew_avg_us) << what;
+  EXPECT_EQ(a.wait_avg_us, b.wait_avg_us) << what;
+  EXPECT_EQ(a.fabric_links, b.fabric_links) << what;
+  EXPECT_EQ(a.oversubscription, b.oversubscription) << what;
+  EXPECT_EQ(a.max_link_util, b.max_link_util) << what;
+  EXPECT_EQ(a.perf.events, b.perf.events) << what;
+  EXPECT_EQ(a.perf.peak_live_events, b.perf.peak_live_events) << what;
+  EXPECT_EQ(a.perf.callback_pool_hit_rate, b.perf.callback_pool_hit_rate)
+      << what;
+  EXPECT_EQ(a.perf.payload_pool_hit_rate, b.perf.payload_pool_hit_rate)
+      << what;
+  EXPECT_EQ(a.perf.sim_ms, b.perf.sim_ms) << what;
+}
+
+core::MeasureResult measure_with_jobs(CollKind kind,
+                                      const net::ClusterConfig& cfg,
+                                      const CollSpec& spec,
+                                      core::MeasureOptions opt, int jobs) {
+  opt.jobs = jobs;
+  return core::measure_collective(kind, cfg, 3, 4, 768, spec, opt);
+}
+
+TEST(ExecutorMatrix, EveryAlgorithmByteIdenticalAcrossJobCounts) {
+  const net::ClusterConfig cfg = net::cluster_by_name("test");
+  constexpr int kWorld = 3 * 4;
+  core::MeasureOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  opt.repetitions = 3;  // perturbed reps: the actual parallel axis
+  opt.with_data = true;
+  opt.check = check::CheckLevel::strict;
+  opt.perturb = perturb::PerturbSpec::parse("skew=uniform:max_us=10;seed=5");
+  for (CollKind kind : coll::kAllCollKinds) {
+    for (const coll::CollDescriptor* d : CollRegistry::instance().list(kind)) {
+      if (kWorld < d->caps.min_comm_size) continue;
+      if (d->caps.needs_fabric && !cfg.has_sharp()) continue;
+      CollSpec spec;
+      spec.algo = d->name;
+      spec.leaders = 2;
+      const std::string what =
+          std::string(coll::coll_kind_name(kind)) + "/" + d->name;
+      const auto serial = measure_with_jobs(kind, cfg, spec, opt, 1);
+      EXPECT_TRUE(serial.verified) << what;
+      EXPECT_EQ(serial.perf.jobs, 1) << what;
+      const auto wide = measure_with_jobs(kind, cfg, spec, opt, 4);
+      EXPECT_EQ(wide.perf.jobs, 4) << what;
+      expect_identical(serial, wide, what + " jobs=4");
+      // An odd width exercises uneven work distribution too.
+      expect_identical(serial, measure_with_jobs(kind, cfg, spec, opt, 3),
+                       what + " jobs=3");
+    }
+  }
+}
+
+TEST(ExecutorMatrix, FabricModeByteIdenticalAcrossJobCounts) {
+  // The flow-level fabric adds max-min fair link sharing on top of the
+  // engine; its utilization telemetry must also be jobs-invariant.
+  const net::ClusterConfig cfg = net::cluster_by_name("test");
+  core::MeasureOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  opt.repetitions = 4;
+  opt.fabric = fabric::FabricLevel::links;
+  opt.perturb = perturb::PerturbSpec::parse("skew=uniform:max_us=15;seed=21");
+  CollSpec spec;
+  spec.algo = "dpml";
+  spec.leaders = 2;
+  const auto serial =
+      measure_with_jobs(CollKind::allreduce, cfg, spec, opt, 1);
+  EXPECT_TRUE(serial.fabric_links);
+  EXPECT_GT(serial.max_link_util, 0.0);
+  expect_identical(serial,
+                   measure_with_jobs(CollKind::allreduce, cfg, spec, opt, 4),
+                   "allreduce/dpml fabric=links jobs=4");
+}
+
+TEST(ExecutorMatrix, JobsBeyondRepetitionsStillIdentical) {
+  const net::ClusterConfig cfg = net::cluster_by_name("test");
+  CollSpec spec;
+  spec.algo = "rd";
+  const auto serial = measure_with_jobs(CollKind::allreduce, cfg, spec,
+                                        perturbed_opts(3, 2), 1);
+  // More workers than repetitions: the executor clamps to the job count.
+  expect_identical(serial,
+                   measure_with_jobs(CollKind::allreduce, cfg, spec,
+                                     perturbed_opts(3, 2), 16),
+                   "allreduce/rd jobs=16 reps=2");
+}
+
+}  // namespace
+}  // namespace dpml

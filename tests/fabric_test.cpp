@@ -139,7 +139,7 @@ TEST(FabricFairnessTest, TwoFlowsSplitASharedUplinkEvenly) {
   std::vector<sim::Time> done;
   double rate_a = 0.0;
   double rate_b = 0.0;
-  eng.schedule_fn(0, [&]() {
+  eng.schedule_call(0, [&]() {
     // Two 2400 B flows 0 -> 1 share node0.up (12 GB/s): 6 GB/s each, and
     // 2400 B / 6 GB/s = 400 ns.
     const auto a = ff.start_flow(0, 1, 2400, cfg.nic.link_bw,
@@ -171,7 +171,7 @@ TEST(FabricFairnessTest, CappedFlowFreezesAndLeavesTheRest) {
   FlowFabric ff(eng, cfg, 4);
   double rate_capped = 0.0;
   double rate_free = 0.0;
-  eng.schedule_fn(0, [&]() {
+  eng.schedule_call(0, [&]() {
     // Progressive filling, two rounds: the cap-3 flow freezes at 3 GB/s,
     // then the free flow takes the remaining 9 GB/s of the shared uplink.
     const auto free = ff.start_flow(0, 1, 1 << 20, 12.0, nullptr);
@@ -192,7 +192,7 @@ TEST(FabricFairnessTest, ThreeFlowBottleneckMatchesHandComputation) {
   double r02 = 0.0;
   double r12 = 0.0;
   double r13 = 0.0;
-  eng.schedule_fn(0, [&]() {
+  eng.schedule_call(0, [&]() {
     // Classic max-min fixture: flows 0->2 and 1->2 share node2.down
     // (bottleneck, 6 GB/s each); flow 1->3 then gets node1.up's remainder.
     const auto a = ff.start_flow(0, 2, 1 << 20, 12.0, nullptr);
@@ -217,7 +217,7 @@ TEST(FabricFairnessTest, SingleLegFlowsUseOneEdgeLink) {
   const auto cfg = net::test_cluster(4);
   FlowFabric ff(eng, cfg, 4);
   std::vector<sim::Time> done;
-  eng.schedule_fn(0, [&]() {
+  eng.schedule_call(0, [&]() {
     // 1200 B at a full 12 GB/s edge link: 100 ns, no sharing.
     ff.start_uplink_flow(0, 1200, 12.0,
                          [&](sim::Time t) { done.push_back(t); });
@@ -240,7 +240,7 @@ TEST(FabricFairnessTest, ZeroByteFlowsCompleteAtTheSameInstant) {
   const auto cfg = net::test_cluster(4);
   FlowFabric ff(eng, cfg, 4);
   std::vector<sim::Time> done;
-  eng.schedule_fn(sim::Time{7}, [&]() {
+  eng.schedule_call(sim::Time{7}, [&]() {
     ff.start_flow(0, 1, 0, 12.0, [&](sim::Time t) { done.push_back(t); });
     EXPECT_EQ(ff.active_flows(), 0);  // control flows occupy no bandwidth
   });
@@ -259,7 +259,7 @@ TEST(FabricFairnessTest, CrossLeafFlowsTraverseFourLinksAndContendInCore) {
   ASSERT_EQ(ff.topo().ecmp_ways, 1);
   double r0 = 0.0;
   double r1 = 0.0;
-  eng.schedule_fn(0, [&]() {
+  eng.schedule_call(0, [&]() {
     // Distinct sources and destinations: the only shared resource is leaf
     // 0's single core uplink way, which max-min splits 6/6.
     const auto a = ff.start_flow(0, 2, 1 << 20, 12.0, nullptr);

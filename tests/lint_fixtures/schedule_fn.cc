@@ -1,0 +1,29 @@
+// dpmllint fixture: uses of the deprecated schedule_fn compatibility shim.
+// Never compiled; scanned by dpmllint_test.
+#include <functional>
+
+struct Engine {
+  void schedule_fn(long, std::function<void()>);  // schedule-fn
+  template <typename F>
+  void schedule_call(long, F&&);
+};
+
+void legacy(Engine& e) {
+  e.schedule_fn(10, [] {});  // schedule-fn
+}
+
+void modern(Engine& e) {
+  e.schedule_call(10, [] {});  // pooled path: fine
+}
+
+// Masked contexts must NOT fire:
+//   schedule_fn mentioned in a comment is fine
+const char* doc = "schedule_fn is deprecated";  // string mention is fine
+
+void boundary() {
+  // Identifier boundary: not the shim's name.
+  struct X {
+    void reschedule_fnord() {}
+  } x;
+  x.reschedule_fnord();
+}

@@ -1,11 +1,24 @@
 // Randomized property tests: for seeded random (algorithm, shape, size,
 // datatype, operator) combinations, every design must produce the exact
 // serial-reference result, identical simulated time across repeats, and no
-// leaked node-shared state.
+// leaked node-shared state. A second suite drives seeded random workloads
+// (random dtype/op/count/in-place/leader-count) through the parallel sweep
+// executor under check_level=strict and requires byte-identical digests for
+// any jobs count (docs/MODEL.md §8).
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "coll/registry.hpp"
+#include "core/executor.hpp"
 #include "core/measure.hpp"
 #include "net/cluster.hpp"
+#include "sharp/sharp.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/verify.hpp"
 #include "util/rng.hpp"
 
 namespace dpml::core {
@@ -95,6 +108,168 @@ TEST_P(RandomScenario, ExactAndDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, RandomScenario,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Random workloads through the sweep executor, under strict simcheck.
+//
+// Each workload is a pure function of its seed: it builds its own Machine
+// (strict checking, real data), runs one random registered allreduce with a
+// random dtype/op/count/in-place/leader-count draw, and digests the outcome
+// (result-buffer hash, engine event count, final simulated time, exactness
+// against the serial reference). The digest vector must be byte-identical
+// whether the batch ran serially or fanned across executor workers.
+
+struct Workload {
+  std::string algo;
+  int nodes;
+  int ppn;
+  std::size_t count;
+  Dtype dt;
+  ReduceOp op;
+  bool inplace;
+  int leaders;
+
+  std::string describe() const {
+    return algo + " " + std::to_string(nodes) + "x" + std::to_string(ppn) +
+           " n=" + std::to_string(count) + " " + simmpi::dtype_name(dt) +
+           " " + simmpi::op_name(op) + (inplace ? " inplace" : "") +
+           " l=" + std::to_string(leaders);
+  }
+};
+
+Workload random_workload(std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  const auto algos =
+      coll::CollRegistry::instance().names(coll::CollKind::allreduce);
+  const Dtype dtypes[] = {Dtype::f32, Dtype::f64, Dtype::i32, Dtype::i64,
+                          Dtype::u8};
+  Workload w;
+  w.algo = algos[rng.next_below(algos.size())];
+  w.nodes = static_cast<int>(2 + rng.next_below(3));
+  w.ppn = static_cast<int>(1 + rng.next_below(4));
+  const auto& d = coll::CollRegistry::instance().at(coll::CollKind::allreduce,
+                                                    w.algo);
+  while (w.nodes * w.ppn < d.caps.min_comm_size) ++w.ppn;
+  w.count = 1 + rng.next_below(1200);
+  w.dt = dtypes[rng.next_below(std::size(dtypes))];
+  switch (rng.next_below(5)) {
+    case 0: w.op = ReduceOp::sum; break;
+    case 1: w.op = ReduceOp::min; break;
+    case 2: w.op = ReduceOp::max; break;
+    case 3:
+      w.op = ReduceOp::prod;
+      w.count = 1 + rng.next_below(63);  // keep products representable
+      break;
+    default:
+      w.op = (w.dt == Dtype::f32 || w.dt == Dtype::f64) ? ReduceOp::sum
+                                                        : ReduceOp::bor;
+      break;
+  }
+  w.inplace = rng.next_below(2) == 1;
+  w.leaders = static_cast<int>(1 + rng.next_below(8));
+  return w;
+}
+
+struct WorkloadDigest {
+  std::uint64_t data_hash = 0;
+  std::uint64_t events = 0;
+  sim::Time end_time = 0;
+  bool exact = false;  // every rank's buffer equals the serial reference
+};
+
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::byte>& bytes) {
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+WorkloadDigest run_workload(const Workload& w, std::uint64_t seed) {
+  const net::ClusterConfig cfg = net::test_cluster(w.nodes);
+  simmpi::RunOptions ropt;
+  ropt.with_data = true;
+  ropt.seed = seed;
+  ropt.check_level = check::CheckLevel::strict;
+  simmpi::Machine m(cfg, w.nodes, w.ppn, ropt);
+
+  const auto& d = coll::CollRegistry::instance().at(coll::CollKind::allreduce,
+                                                    w.algo);
+  coll::CollSpec spec;
+  spec.algo = w.algo;
+  spec.leaders = w.leaders;
+  std::optional<sharp::SharpFabric> fabric;
+  if (d.caps.needs_fabric || w.algo == "dpml-auto") {
+    fabric.emplace(m);
+    spec.fabric = &*fabric;
+  }
+
+  const int world = w.nodes * w.ppn;
+  const std::size_t esize = simmpi::dtype_size(w.dt);
+  std::vector<std::vector<std::byte>> sendb(static_cast<std::size_t>(world));
+  std::vector<std::vector<std::byte>> recvb(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    auto operand = simmpi::make_operand(w.dt, w.count, r, w.op, seed);
+    if (w.inplace) {
+      recvb[i] = std::move(operand);  // recv holds the input (MPI_IN_PLACE)
+    } else {
+      sendb[i] = std::move(operand);
+      recvb[i].resize(w.count * esize);
+    }
+  }
+
+  m.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    const auto i = static_cast<std::size_t>(r.world_rank());
+    coll::CollArgs a;
+    a.rank = &r;
+    a.comm = &m.world();
+    a.count = w.count;
+    a.dt = w.dt;
+    a.op = w.op;
+    a.inplace = w.inplace;
+    if (!w.inplace) a.send = sendb[i];
+    a.recv = recvb[i];
+    co_await core::run_collective(coll::CollKind::allreduce, a, spec);
+  });
+
+  const auto ref = simmpi::reference_allreduce(w.dt, w.count, world, w.op,
+                                               seed);
+  WorkloadDigest dg;
+  dg.exact = true;
+  dg.data_hash = 1469598103934665603ull;  // FNV offset basis
+  for (int r = 0; r < world; ++r) {
+    const auto& buf = recvb[static_cast<std::size_t>(r)];
+    dg.exact = dg.exact && buf == ref;
+    dg.data_hash = fnv1a(dg.data_hash, buf);
+  }
+  dg.events = m.engine().events_processed();
+  dg.end_time = m.engine().now();
+  return dg;
+}
+
+TEST(ExecutorProperty, RandomWorkloadsByteIdenticalAcrossJobCounts) {
+  constexpr std::size_t kBatch = 24;
+  const auto digest_all = [&](int jobs) {
+    return Executor(jobs).map<WorkloadDigest>(kBatch, [](std::size_t i) {
+      const std::uint64_t seed = 1000 + i;
+      return run_workload(random_workload(seed), seed);
+    });
+  };
+  const std::vector<WorkloadDigest> serial = digest_all(1);
+  const std::vector<WorkloadDigest> wide = digest_all(4);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const std::string what =
+        "seed " + std::to_string(1000 + i) + ": " +
+        random_workload(1000 + i).describe();
+    EXPECT_TRUE(serial[i].exact) << what;
+    EXPECT_EQ(serial[i].data_hash, wide[i].data_hash) << what;
+    EXPECT_EQ(serial[i].events, wide[i].events) << what;
+    EXPECT_EQ(serial[i].end_time, wide[i].end_time) << what;
+    EXPECT_EQ(serial[i].exact, wide[i].exact) << what;
+  }
+}
 
 }  // namespace
 }  // namespace dpml::core

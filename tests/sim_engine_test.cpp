@@ -17,12 +17,12 @@ TEST(Engine, StartsAtZero) {
   EXPECT_EQ(e.live_tasks(), 0);
 }
 
-TEST(Engine, SchedulesFnInTimeOrder) {
+TEST(Engine, SchedulesCallbacksInTimeOrder) {
   Engine e;
   std::vector<int> order;
-  e.schedule_fn(us(3.0), [&] { order.push_back(3); });
-  e.schedule_fn(us(1.0), [&] { order.push_back(1); });
-  e.schedule_fn(us(2.0), [&] { order.push_back(2); });
+  e.schedule_call(us(3.0), [&] { order.push_back(3); });
+  e.schedule_call(us(1.0), [&] { order.push_back(1); });
+  e.schedule_call(us(2.0), [&] { order.push_back(2); });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(e.now(), us(3.0));
@@ -32,7 +32,7 @@ TEST(Engine, TieBrokenBySubmissionOrder) {
   Engine e;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    e.schedule_fn(us(5.0), [&order, i] { order.push_back(i); });
+    e.schedule_call(us(5.0), [&order, i] { order.push_back(i); });
   }
   e.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -40,10 +40,22 @@ TEST(Engine, TieBrokenBySubmissionOrder) {
 
 TEST(Engine, RejectsPastEvents) {
   Engine e;
-  e.schedule_fn(us(1.0), [&] {
-    EXPECT_THROW(e.schedule_fn(0, [] {}), util::InvariantError);
+  e.schedule_call(us(1.0), [&] {
+    EXPECT_THROW(e.schedule_call(0, [] {}), util::InvariantError);
   });
   e.run();
+}
+
+TEST(Engine, ScheduleFnShimMatchesScheduleCall) {
+  // The deprecated std::function shim must keep the exact (t, seq) ordering
+  // semantics of the pooled path it forwards to.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_fn(us(2.0), [&] { order.push_back(2); });   // dpmllint: allow(schedule-fn)
+  e.schedule_call(us(2.0), [&] { order.push_back(3); });
+  e.schedule_fn(us(1.0), [&] { order.push_back(1); });   // dpmllint: allow(schedule-fn)
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 CoTask<void> delayer(Engine& e, Time d, int id, std::vector<int>& log) {

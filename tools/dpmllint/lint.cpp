@@ -518,6 +518,30 @@ void scan_await_temporary(const std::string& file, const std::string& masked,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: schedule-fn
+// ---------------------------------------------------------------------------
+
+// Engine::schedule_fn survives only as a compatibility shim over the pooled
+// schedule_call: every event it schedules moves through a std::function,
+// which heap-allocates on the engine hot path. New in-tree code must use
+// schedule_call (the callable is placed in the per-engine slab pool); the
+// shim's own declaration and definition in sim/engine.{hpp,cpp} are the one
+// sanctioned home for the name.
+void scan_schedule_fn(const std::string& file, const std::string& masked,
+                      const std::vector<std::size_t>& starts,
+                      std::vector<Finding>& out) {
+  if (file.find("sim/engine.") != std::string::npos) return;
+  std::size_t pos = 0;
+  while ((pos = find_token(masked, "schedule_fn", pos)) != std::string::npos) {
+    out.push_back(
+        {file, line_of(starts, pos), "schedule-fn",
+         "schedule_fn is a compatibility shim that heap-allocates a "
+         "std::function per event; use Engine::schedule_call (pooled)"});
+    pos += std::string("schedule_fn").size();
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& file,
@@ -531,6 +555,7 @@ std::vector<Finding> lint_source(const std::string& file,
   scan_unordered_iteration(file, masked, starts, found);
   scan_coro_ref_capture(file, masked, starts, found);
   scan_await_temporary(file, masked, starts, found);
+  scan_schedule_fn(file, masked, starts, found);
 
   std::vector<Finding> kept;
   for (Finding& f : found) {

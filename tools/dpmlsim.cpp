@@ -15,6 +15,8 @@
 //   dpmlsim sweep --cluster C --nodes 64 --ppn 28 --sizes 4:1M
 //   dpmlsim tune --cluster A --nodes 8 --ppn 28
 //   dpmlsim throughput --cluster C --pairs 8
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <limits>
 #include <optional>
@@ -28,6 +30,7 @@
 #include "apps/stencil.hpp"
 #include "apps/dl.hpp"
 #include "apps/replay.hpp"
+#include "core/executor.hpp"
 #include "core/selection.hpp"
 #include "fabric/fabric.hpp"
 #include "model/fit.hpp"
@@ -76,6 +79,13 @@ int usage() {
       "                node/leaf/core links with max-min fair sharing,\n"
       "                enforcing the cluster's oversubscription. See\n"
       "                docs/MODEL.md §7)\n"
+      "              --jobs N  (parallel sweep executor: fan independent\n"
+      "                repetitions/points across N host threads; results\n"
+      "                are byte-identical to --jobs 1. Default: DPML_JOBS\n"
+      "                or 1. See docs/MODEL.md §8)\n"
+      "              --perf  (print host-side perf counters per point:\n"
+      "                simulated events/sec, peak live events, pool hit\n"
+      "                rates, wall-ms per simulated-ms)\n"
       "              --list-algorithms  (print the collective registry)\n"
       "              --list-clusters  (print presets with derived fabric\n"
       "                link counts and capacities)\n";
@@ -204,14 +214,22 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   // arrival imbalance.
   const bool perturbed = !opt.perturb.empty() || opt.repetitions > 1;
   const bool fabric_on = opt.fabric != fabric::FabricLevel::none;
+  const bool perf_on = args.get_bool("perf", false);
   std::vector<std::string> header{"msg size", "design", "latency (us)"};
   if (perturbed) {
     header.insert(header.end(),
                   {"median (us)", "p99 (us)", "entry skew (us)", "wait (us)"});
   }
   if (fabric_on) header.push_back("max link util");
+  if (perf_on) header.insert(header.end(), {"events", "Mev/s", "wall/sim"});
   header.push_back("verified");
   util::Table t(header);
+  // Host-side perf aggregates across the whole size sweep (--perf).
+  std::uint64_t perf_events = 0;
+  std::uint64_t perf_peak_live = 0;
+  double perf_wall_ms = 0.0;
+  double perf_cb_hits = 0.0, perf_pl_hits = 0.0;
+  int perf_rows = 0;
   for (std::size_t bytes : sizes) {
     const core::CollSpec used = table ? table->select(kind, bytes) : spec;
     const auto r =
@@ -227,6 +245,17 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
           .cell(r.wait_avg_us, 2);
     }
     if (fabric_on) t.cell(r.max_link_util, 3);
+    if (perf_on) {
+      t.cell(static_cast<long long>(r.perf.events))
+          .cell(r.perf.events_per_sec / 1e6, 2)
+          .cell(r.perf.wall_ms_per_sim_ms, 2);
+      perf_events += r.perf.events;
+      perf_peak_live = std::max(perf_peak_live, r.perf.peak_live_events);
+      perf_wall_ms += r.perf.wall_ms;
+      perf_cb_hits += r.perf.callback_pool_hit_rate;
+      perf_pl_hits += r.perf.payload_pool_hit_rate;
+      ++perf_rows;
+    }
     t.cell(std::string(r.verified ? "yes" : "NO"));
   }
   std::cout << coll::coll_kind_name(kind) << " "
@@ -239,6 +268,19 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   }
   std::cout << "\n";
   t.print(std::cout);
+  if (perf_on && perf_rows > 0) {
+    std::cout << "\n[perf] jobs=" << core::default_jobs() << ", "
+              << perf_events << " simulated events in " << perf_wall_ms
+              << " ms wall ("
+              << (perf_wall_ms > 0.0
+                      ? static_cast<double>(perf_events) / (perf_wall_ms * 1e3)
+                      : 0.0)
+              << " Mev/s), peak live events " << perf_peak_live
+              << ", pool hit rates cb="
+              << perf_cb_hits / static_cast<double>(perf_rows)
+              << " payload=" << perf_pl_hits / static_cast<double>(perf_rows)
+              << "\n";
+  }
   return 0;
 }
 
@@ -494,6 +536,11 @@ int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  // --jobs N sets the process-wide sweep-executor width: every measure()
+  // call fans its repetitions (and sweeps their points) across N threads
+  // while staying byte-identical to the serial order (docs/MODEL.md §8).
+  if (args.has("jobs"))
+    core::set_default_jobs(static_cast<int>(args.get_int("jobs", 1)));
   if (args.get_bool("list-algorithms", false)) return cmd_list_algorithms();
   if (args.get_bool("list-clusters", false)) return cmd_list_clusters();
   if (args.positional().empty()) return usage();
