@@ -38,6 +38,11 @@ const char* coll_op_name(CollOp op) {
     case CollOp::reduce: return "reduce";
     case CollOp::bcast: return "bcast";
     case CollOp::alltoall: return "alltoall";
+    case CollOp::allgather: return "allgather";
+    case CollOp::reduce_scatter: return "reduce_scatter";
+    case CollOp::gather: return "gather";
+    case CollOp::scatter: return "scatter";
+    case CollOp::barrier: return "barrier";
   }
   return "?";
 }
@@ -321,11 +326,12 @@ std::uint64_t Checker::begin_collective(CollOp op_kind, int world_rank,
   }
   rec.entered += 1;
 
-  // Annotate this rank's p2p traffic with the reduction dtype; bcast and
-  // alltoall move byte ranges that need not be element-aligned, so they stay
-  // unannotated.
-  const bool reduction =
-      op_kind == CollOp::allreduce || op_kind == CollOp::reduce;
+  // Annotate this rank's p2p traffic with the reduction dtype; the pure
+  // data-movement kinds (bcast, alltoall, allgather, gather, scatter) move
+  // byte ranges that need not be element-aligned, so they stay unannotated.
+  const bool reduction = op_kind == CollOp::allreduce ||
+                         op_kind == CollOp::reduce ||
+                         op_kind == CollOp::reduce_scatter;
   open_[static_cast<std::size_t>(world_rank)].push_back(
       OpenColl{ctx, seq, reduction ? static_cast<int>(dt) : -1});
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ctx)) << 32) |
@@ -370,28 +376,51 @@ void Checker::verify_collective(int ctx, std::uint64_t seq,
                                 const CollRecord& rec) {
   (void)ctx;
   (void)seq;
+  // Barrier has arrival semantics only (count == 0); nothing to verify.
   if (!with_data_ || rec.count == 0) return;
   const std::size_t esize = simmpi::dtype_size(rec.dt);
   const std::size_t vec_bytes = rec.count * esize;
-  const std::size_t in_bytes = rec.op_kind == CollOp::alltoall
-                                   ? vec_bytes * static_cast<std::size_t>(
-                                                     rec.parties)
-                                   : vec_bytes;
+  const std::size_t all_bytes =
+      vec_bytes * static_cast<std::size_t>(rec.parties);
+  // Expected input-snapshot size per comm rank (`count` is the per-block
+  // element count for the blocked kinds, see coll/registry.hpp); 0 means the
+  // rank contributes no data (e.g. scatter non-roots).
+  auto in_bytes_of = [&](int cr) -> std::size_t {
+    switch (rec.op_kind) {
+      case CollOp::alltoall:
+      case CollOp::reduce_scatter:
+        return all_bytes;
+      case CollOp::scatter:
+        return cr == rec.root ? all_bytes : 0;
+      case CollOp::barrier:
+        return 0;
+      case CollOp::allreduce:
+      case CollOp::reduce:
+      case CollOp::bcast:
+      case CollOp::allgather:
+      case CollOp::gather:
+        break;
+    }
+    return vec_bytes;
+  };
   const std::string where =
       std::string(coll_op_name(rec.op_kind)) + "/" + rec.label;
   for (int cr = 0; cr < rec.parties; ++cr) {
     const Party& p = rec.party[static_cast<std::size_t>(cr)];
+    const std::size_t expect_in = in_bytes_of(cr);
+    if (expect_in == 0) continue;  // this rank contributes no data
     if (p.input.empty()) return;  // metadata-only participant: nothing to fold
-    if (p.input.size() != in_bytes) {
+    if (p.input.size() != expect_in) {
       fail(Violation{"collective-buffer-size", p.world_rank, where,
                      "input buffer holds " + std::to_string(p.input.size()) +
-                         " bytes; expected " + std::to_string(in_bytes)});
+                         " bytes; expected " + std::to_string(expect_in)});
     }
   }
 
   // Serial reference in ascending comm-rank order — the fold order MPI
   // guarantees for non-commutative ops (associativity may be exploited, the
-  // operand sequence may not be reordered).
+  // operand sequence may not be reordered). The data-movement kinds use a
+  // placement reference (blocks concatenated in comm-rank order) instead.
   std::vector<std::byte> ref;
   switch (rec.op_kind) {
     case CollOp::allreduce:
@@ -403,11 +432,33 @@ void Checker::verify_collective(int ctx, std::uint64_t seq,
       }
       break;
     }
+    case CollOp::reduce_scatter: {
+      // Fold the full p-block vectors; comm rank cr receives block cr.
+      ref = rec.party[0].input;
+      for (int cr = 1; cr < rec.parties; ++cr) {
+        rec.op.apply(rec.dt,
+                     rec.count * static_cast<std::size_t>(rec.parties),
+                     MutBytes{ref},
+                     ConstBytes{rec.party[static_cast<std::size_t>(cr)].input});
+      }
+      break;
+    }
     case CollOp::bcast:
+    case CollOp::scatter:
       ref = rec.party[static_cast<std::size_t>(rec.root)].input;
       break;
+    case CollOp::allgather:
+    case CollOp::gather:
+      ref.resize(all_bytes);
+      for (int cr = 0; cr < rec.parties; ++cr) {
+        std::memcpy(ref.data() + static_cast<std::size_t>(cr) * vec_bytes,
+                    rec.party[static_cast<std::size_t>(cr)].input.data(),
+                    vec_bytes);
+      }
+      break;
     case CollOp::alltoall:
-      break;  // per-receiver expectation computed below
+    case CollOp::barrier:
+      break;  // alltoall: per-receiver expectation computed below
   }
 
   auto check_output = [&](int cr, const std::vector<std::byte>& expect) {
@@ -423,16 +474,31 @@ void Checker::verify_collective(int ctx, std::uint64_t seq,
             format_element(rec.dt, expect, idx)});
   };
 
+  // One block of `ref` for the kinds that scatter it per receiver.
+  auto block_of = [&](int cr) {
+    const auto lo = static_cast<std::ptrdiff_t>(
+        static_cast<std::size_t>(cr) * vec_bytes);
+    return std::vector<std::byte>(
+        ref.begin() + lo, ref.begin() + lo + static_cast<std::ptrdiff_t>(
+                                                 vec_bytes));
+  };
+
   switch (rec.op_kind) {
     case CollOp::allreduce:
     case CollOp::bcast:
+    case CollOp::allgather:
       for (int cr = 0; cr < rec.parties; ++cr) check_output(cr, ref);
       break;
     case CollOp::reduce:
+    case CollOp::gather:
       check_output(rec.root, ref);
       break;
+    case CollOp::reduce_scatter:
+    case CollOp::scatter:
+      for (int cr = 0; cr < rec.parties; ++cr) check_output(cr, block_of(cr));
+      break;
     case CollOp::alltoall: {
-      std::vector<std::byte> expect(in_bytes);
+      std::vector<std::byte> expect(all_bytes);
       for (int cr = 0; cr < rec.parties; ++cr) {
         for (int src = 0; src < rec.parties; ++src) {
           const std::byte* blk =
@@ -445,6 +511,8 @@ void Checker::verify_collective(int ctx, std::uint64_t seq,
       }
       break;
     }
+    case CollOp::barrier:
+      break;
   }
 }
 

@@ -43,7 +43,17 @@ CheckLevel check_level_by_name(const std::string& name);
 // The collective kinds the checker verifies results for. Mirrors
 // coll::CollKind without depending on the coll layer (src/check sits below
 // it; core maps between the two at dispatch time).
-enum class CollOp : std::uint8_t { allreduce, reduce, bcast, alltoall };
+enum class CollOp : std::uint8_t {
+  allreduce,
+  reduce,
+  bcast,
+  alltoall,
+  allgather,
+  reduce_scatter,
+  gather,
+  scatter,
+  barrier,
+};
 
 const char* coll_op_name(CollOp op);
 

@@ -18,7 +18,14 @@
 //    on fabrics whose large-message throughput does not scale (Omni-Path
 //    Zone C).
 //
-// Both hierarchical designs require the collective to run on the machine's
+// The data-partitioned phases are also exposed as standalone collectives:
+// reduce_scatter_dpml is literally phases 1-3 (allreduce_dpml is the
+// verified composition reduce-scatter + shared-memory allgather of every
+// partition), and allgather_dpml is the communication dual (stripe the
+// node's blocks across leaders, one concurrent inter-node allgather per
+// leader group, shared-memory collection).
+//
+// All hierarchical designs require the collective to run on the machine's
 // world communicator (leaders are per-node entities), like the paper's
 // implementation inside MVAPICH2's shared-memory communicator structure.
 #pragma once
@@ -37,5 +44,15 @@ sim::CoTask<void> allreduce_single_leader(CollArgs a,
                                           InterAlgo inter = InterAlgo::automatic);
 
 sim::CoTask<void> allreduce_dpml(CollArgs a, DpmlParams params);
+
+// Standalone DPML reduce-scatter: `a.count` is the per-rank block element
+// count (send spans comm_size blocks, recv one block); in-place is not
+// supported. Falls back to the flat order-aware dispatch when ppn == 1.
+sim::CoTask<void> reduce_scatter_dpml(CollArgs a, DpmlParams params);
+
+// Standalone DPML allgather: `a.count` is the per-rank block element count
+// (recv spans comm_size blocks; in-place reads my block from recv). Falls
+// back to the flat dispatch when ppn == 1.
+sim::CoTask<void> allgather_dpml(CollArgs a, DpmlParams params);
 
 }  // namespace dpml::coll

@@ -1,9 +1,12 @@
 #include "coll/group_coll.hpp"
 
 #include <cstring>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "coll/reduce.hpp"
+#include "coll/registry.hpp"
 #include "util/error.hpp"
 
 namespace dpml::coll {
@@ -21,6 +24,51 @@ void GatherArgs::check() const {
   DPML_CHECK(send.empty() || send.size() == block_bytes);
   const auto p = static_cast<std::size_t>(comm->size());
   DPML_CHECK(recv.empty() || recv.size() == p * block_bytes);
+}
+
+sim::CoTask<void> gather(GatherArgs a, GatherAlgo algo) {
+  if (algo == GatherAlgo::automatic) {
+    // Small trees gain nothing from forwarding; the root link is the
+    // bottleneck either way, and linear saves the intermediate hops.
+    algo = a.comm->size() <= 4 ? GatherAlgo::linear : GatherAlgo::binomial;
+  }
+  switch (algo) {
+    case GatherAlgo::binomial: return gather_binomial(std::move(a));
+    case GatherAlgo::linear: return gather_linear(std::move(a));
+    case GatherAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable gather algo");
+  return {};
+}
+
+sim::CoTask<void> gather_linear(GatherArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  if (me == a.root) {
+    std::vector<std::shared_ptr<sim::Flag>> pending;
+    for (int src = 0; src < p; ++src) {
+      if (src == me) continue;
+      auto h = r.irecv(c, src, a.tag_base, a.block_bytes,
+                       sub(a.recv,
+                           static_cast<std::size_t>(src) * a.block_bytes,
+                           a.recv.empty() ? 0 : a.block_bytes));
+      pending.push_back(h.done);
+    }
+    const auto& host = r.machine().config().host;
+    co_await r.engine().delay(host.copy_startup +
+                              sim::transfer_time(a.block_bytes, host.copy_bw));
+    if (!a.send.empty() && !a.recv.empty()) {
+      std::memcpy(a.recv.data() + static_cast<std::size_t>(me) * a.block_bytes,
+                  a.send.data(), a.block_bytes);
+    }
+    co_await sim::wait_all(std::move(pending));
+  } else {
+    co_await r.send(c, a.root, a.tag_base, a.block_bytes, a.send);
+  }
 }
 
 sim::CoTask<void> gather_binomial(GatherArgs a) {
@@ -102,6 +150,49 @@ void ScatterArgs::check() const {
   DPML_CHECK(recv.empty() || recv.size() == block_bytes);
   const auto p = static_cast<std::size_t>(comm->size());
   DPML_CHECK(send.empty() || send.size() == p * block_bytes);
+}
+
+sim::CoTask<void> scatter(ScatterArgs a, ScatterAlgo algo) {
+  if (algo == ScatterAlgo::automatic) {
+    algo = a.comm->size() <= 4 ? ScatterAlgo::linear : ScatterAlgo::binomial;
+  }
+  switch (algo) {
+    case ScatterAlgo::binomial: return scatter_binomial(std::move(a));
+    case ScatterAlgo::linear: return scatter_linear(std::move(a));
+    case ScatterAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable scatter algo");
+  return {};
+}
+
+sim::CoTask<void> scatter_linear(ScatterArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  if (me == a.root) {
+    std::vector<std::shared_ptr<sim::Flag>> pending;
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == me) continue;
+      pending.push_back(
+          r.isend(c, dst, a.tag_base, a.block_bytes,
+                  sub(a.send, static_cast<std::size_t>(dst) * a.block_bytes,
+                      a.send.empty() ? 0 : a.block_bytes)));
+    }
+    const auto& host = r.machine().config().host;
+    co_await r.engine().delay(host.copy_startup +
+                              sim::transfer_time(a.block_bytes, host.copy_bw));
+    if (!a.send.empty() && !a.recv.empty()) {
+      std::memcpy(a.recv.data(),
+                  a.send.data() + static_cast<std::size_t>(me) * a.block_bytes,
+                  a.block_bytes);
+    }
+    co_await sim::wait_all(std::move(pending));
+  } else {
+    co_await r.recv(c, a.root, a.tag_base, a.block_bytes, a.recv);
+  }
 }
 
 sim::CoTask<void> scatter_binomial(ScatterArgs a) {
@@ -202,9 +293,13 @@ sim::CoTask<void> allgather_copy_own(const AllgatherArgs& a, int me) {
   const auto& host = a.rank->machine().config().host;
   co_await a.rank->engine().delay(
       host.copy_startup + sim::transfer_time(a.block_bytes, host.copy_bw));
-  if (!a.send.empty() && !a.recv.empty()) {
-    std::memcpy(a.recv.data() + static_cast<std::size_t>(me) * a.block_bytes,
-                a.send.data(), a.block_bytes);
+  std::byte* own =
+      a.recv.empty() ? nullptr
+                     : a.recv.data() + static_cast<std::size_t>(me) *
+                                           a.block_bytes;
+  // In-place entry (send aliases recv's own block): the data is already home.
+  if (!a.send.empty() && own != nullptr && a.send.data() != own) {
+    std::memcpy(own, a.send.data(), a.block_bytes);
   }
 }
 
@@ -283,14 +378,81 @@ void ReduceScatterArgs::check() const {
                  "ReduceScatterArgs missing rank/comm");
   DPML_CHECK(send.empty() || send.size() == total_bytes());
   DPML_CHECK(recv.empty() || recv.size() == block_bytes());
-  DPML_CHECK_MSG(op.commutative(),
-                 "reduce_scatter_ring folds blocks in rotation order and "
-                 "cannot honour ascending comm-rank order for "
-                 "non-commutative ops");
+}
+
+sim::CoTask<void> reduce_scatter(ReduceScatterArgs a, ReduceScatterAlgo algo) {
+  if (algo == ReduceScatterAlgo::automatic) {
+    algo = a.op.commutative() ? ReduceScatterAlgo::ring
+                              : ReduceScatterAlgo::reduce_then_scatter;
+  }
+  switch (algo) {
+    case ReduceScatterAlgo::ring: return reduce_scatter_ring(std::move(a));
+    case ReduceScatterAlgo::reduce_then_scatter:
+      return reduce_scatter_reduce_then_scatter(std::move(a));
+    case ReduceScatterAlgo::automatic: break;
+  }
+  DPML_CHECK_MSG(false, "unreachable reduce_scatter algo");
+  return {};
+}
+
+sim::CoTask<void> reduce_scatter_reduce_then_scatter(ReduceScatterArgs a) {
+  a.check();
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  const int p = c.size();
+  const std::size_t bbytes = a.block_bytes();
+
+  if (p == 1) {
+    const auto& host = r.machine().config().host;
+    co_await r.engine().delay(host.copy_startup +
+                              sim::transfer_time(bbytes, host.copy_bw));
+    if (!a.send.empty() && !a.recv.empty()) {
+      std::memcpy(a.recv.data(), a.send.data(), bbytes);
+    }
+    co_return;
+  }
+
+  // Rooted binomial reduce of the full vector to comm rank 0 — with root 0
+  // the tree folds in natural comm-rank order, so non-commutative ops are
+  // safe — then a binomial scatter of the reduced blocks. The scatter tag
+  // space (+64) stays clear of the reduce's step tags.
+  std::vector<std::byte> full;
+  if (me == 0 && r.machine().with_data()) {
+    full.resize(a.total_bytes());
+  }
+  ReduceArgs ra;
+  ra.rank = a.rank;
+  ra.comm = a.comm;
+  ra.root = 0;
+  ra.count = a.block_count * static_cast<std::size_t>(p);
+  ra.dt = a.dt;
+  ra.op = a.op;
+  ra.send = a.send;
+  ra.recv = MutBytes{full};
+  ra.tag_base = a.tag_base;
+  co_await reduce_binomial(std::move(ra));
+
+  ScatterArgs sa;
+  sa.rank = a.rank;
+  sa.comm = a.comm;
+  sa.root = 0;
+  sa.block_bytes = bbytes;
+  sa.send = ConstBytes{full};
+  sa.recv = a.recv;
+  sa.tag_base = a.tag_base + 64;
+  co_await scatter_binomial(std::move(sa));
 }
 
 sim::CoTask<void> reduce_scatter_ring(ReduceScatterArgs a) {
   a.check();
+  // The ring folds each block in rotation order, which cannot preserve
+  // ascending comm-rank operand order. MPICH-style fallback.
+  if (!a.op.commutative()) {
+    co_await reduce_scatter_reduce_then_scatter(std::move(a));
+    co_return;
+  }
   Rank& r = *a.rank;
   const Comm& c = *a.comm;
   const int me = c.rank_of_world(r.world_rank());
@@ -424,5 +586,189 @@ sim::CoTask<void> barrier_single_leader(BarrierArgs a) {
   }
   r.node().release_slot(key, ppn);
 }
+
+// ---- Registry entries ----
+
+namespace {
+
+// The registry's shared CollArgs entry currency, adapted to the per-op
+// argument structs. For every block-shaped kind, CollArgs::count is the
+// per-block element count, so CollArgs::bytes() is one block.
+
+GatherArgs to_gather_args(const CollArgs& a) {
+  DPML_CHECK_MSG(!a.inplace, "gather does not take MPI_IN_PLACE here; pass "
+                             "the root's contribution in send like every "
+                             "other rank");
+  GatherArgs g;
+  g.rank = a.rank;
+  g.comm = a.comm;
+  g.root = a.root;
+  g.block_bytes = a.bytes();
+  g.send = a.send;
+  g.recv = a.recv;
+  g.tag_base = a.tag_base;
+  return g;
+}
+
+ScatterArgs to_scatter_args(const CollArgs& a) {
+  DPML_CHECK_MSG(!a.inplace, "scatter does not take MPI_IN_PLACE here; the "
+                             "root receives its own block in recv like every "
+                             "other rank");
+  ScatterArgs s;
+  s.rank = a.rank;
+  s.comm = a.comm;
+  s.root = a.root;
+  s.block_bytes = a.bytes();
+  s.send = a.send;
+  s.recv = a.recv;
+  s.tag_base = a.tag_base;
+  return s;
+}
+
+AllgatherArgs to_allgather_args(const CollArgs& a) {
+  AllgatherArgs g;
+  g.rank = a.rank;
+  g.comm = a.comm;
+  g.block_bytes = a.bytes();
+  g.recv = a.recv;
+  g.tag_base = a.tag_base;
+  if (a.inplace) {
+    // MPI_IN_PLACE: my contribution already sits in recv's own block.
+    const int me = a.comm->rank_of_world(a.rank->world_rank());
+    if (me >= 0 && !a.recv.empty()) {
+      g.send = sub(as_const(a.recv),
+                   static_cast<std::size_t>(me) * g.block_bytes,
+                   g.block_bytes);
+    }
+  } else {
+    g.send = a.send;
+  }
+  return g;
+}
+
+ReduceScatterArgs to_reduce_scatter_args(const CollArgs& a) {
+  DPML_CHECK_MSG(!a.inplace,
+                 "reduce_scatter does not take MPI_IN_PLACE here; recv is "
+                 "one block, send spans the p input blocks");
+  ReduceScatterArgs rs;
+  rs.rank = a.rank;
+  rs.comm = a.comm;
+  rs.block_count = a.count;
+  rs.dt = a.dt;
+  rs.op = a.op;
+  rs.send = a.send;
+  rs.recv = a.recv;
+  rs.tag_base = a.tag_base;
+  return rs;
+}
+
+BarrierArgs to_barrier_args(const CollArgs& a) {
+  BarrierArgs b;
+  b.rank = a.rank;
+  b.comm = a.comm;
+  b.tag_base = a.tag_base;
+  return b;
+}
+
+CollDescriptor gather_desc(const char* name, GatherAlgo algo, CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::gather;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return gather(to_gather_args(a), algo);
+  };
+  return d;
+}
+
+CollDescriptor scatter_desc(const char* name, ScatterAlgo algo,
+                            CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::scatter;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return scatter(to_scatter_args(a), algo);
+  };
+  return d;
+}
+
+CollDescriptor allgather_desc(const char* name, AllgatherAlgo algo,
+                              CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::allgather;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return allgather(to_allgather_args(a), algo);
+  };
+  return d;
+}
+
+CollDescriptor reduce_scatter_desc(const char* name, ReduceScatterAlgo algo,
+                                   CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::reduce_scatter;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return reduce_scatter(to_reduce_scatter_args(a), algo);
+  };
+  return d;
+}
+
+CollDescriptor barrier_desc(const char* name, BarrierAlgo algo,
+                            CollCaps caps) {
+  CollDescriptor d;
+  d.name = name;
+  d.kind = CollKind::barrier;
+  d.caps = caps;
+  d.make = [algo](CollArgs a, const CollSpec&) {
+    return barrier(to_barrier_args(a), algo);
+  };
+  return d;
+}
+
+const CollRegistration reg_gather_binomial{
+    gather_desc("binomial", GatherAlgo::binomial, CollCaps{.tunable = true})};
+const CollRegistration reg_gather_linear{
+    gather_desc("linear", GatherAlgo::linear, CollCaps{.tunable = true})};
+const CollRegistration reg_gather_auto{
+    gather_desc("auto", GatherAlgo::automatic, CollCaps{})};
+
+const CollRegistration reg_scatter_binomial{scatter_desc(
+    "binomial", ScatterAlgo::binomial, CollCaps{.tunable = true})};
+const CollRegistration reg_scatter_linear{
+    scatter_desc("linear", ScatterAlgo::linear, CollCaps{.tunable = true})};
+const CollRegistration reg_scatter_auto{
+    scatter_desc("auto", ScatterAlgo::automatic, CollCaps{})};
+
+const CollRegistration reg_allgather_ring{
+    allgather_desc("ring", AllgatherAlgo::ring, CollCaps{.tunable = true})};
+const CollRegistration reg_allgather_rd{
+    allgather_desc("rd", AllgatherAlgo::recursive_doubling,
+                   CollCaps{.tunable = true})};
+const CollRegistration reg_allgather_auto{
+    allgather_desc("auto", AllgatherAlgo::automatic, CollCaps{})};
+
+const CollRegistration reg_reduce_scatter_ring{reduce_scatter_desc(
+    "ring", ReduceScatterAlgo::ring, CollCaps{.tunable = true})};
+const CollRegistration reg_reduce_scatter_rts{reduce_scatter_desc(
+    "reduce-then-scatter", ReduceScatterAlgo::reduce_then_scatter,
+    CollCaps{.tunable = true})};
+const CollRegistration reg_reduce_scatter_auto{reduce_scatter_desc(
+    "auto", ReduceScatterAlgo::automatic, CollCaps{})};
+
+const CollRegistration reg_barrier_dissemination{barrier_desc(
+    "dissemination", BarrierAlgo::dissemination, CollCaps{.tunable = true})};
+const CollRegistration reg_barrier_single_leader{
+    barrier_desc("single-leader", BarrierAlgo::single_leader,
+                 CollCaps{.world_only = true, .tunable = true})};
+const CollRegistration reg_barrier_auto{
+    barrier_desc("auto", BarrierAlgo::automatic, CollCaps{})};
+
+}  // namespace
+
+void link_group_collectives() {}
 
 }  // namespace dpml::coll

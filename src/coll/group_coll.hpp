@@ -1,17 +1,21 @@
-// Remaining group collectives used as substrate and exposed publicly:
-// gather, scatter, allgather, reduce_scatter, and barrier.
+// Group collectives: gather, scatter, allgather, reduce_scatter, barrier.
 //
 // These complete the collective surface an MPI-like runtime needs and serve
 // as independently-tested building blocks (e.g. the Rabenseifner allreduce
 // is reduce_scatter + allgather; the van de Geijn bcast is scatter +
-// allgather).
+// allgather). Each is also a first-class registry collective (CollKind) with
+// its own algorithm roster; the DPML multi-leader variants of allgather and
+// reduce_scatter live in dpml.cpp next to the allreduce they compose into.
 #pragma once
 
 #include "coll/coll.hpp"
 
 namespace dpml::coll {
 
-// ---- Gather / Scatter (binomial trees, equal block sizes) ----
+// ---- Gather / Scatter (equal block sizes) ----
+
+enum class GatherAlgo { binomial, linear, automatic };
+enum class ScatterAlgo { binomial, linear, automatic };
 
 struct GatherArgs {
   Rank* rank = nullptr;
@@ -25,7 +29,11 @@ struct GatherArgs {
   void check() const;
 };
 
+sim::CoTask<void> gather(GatherArgs a, GatherAlgo algo = GatherAlgo::automatic);
 sim::CoTask<void> gather_binomial(GatherArgs a);
+// Root posts p-1 direct receives; optimal for small communicators where the
+// root link is the bottleneck anyway and forwarding only adds hops.
+sim::CoTask<void> gather_linear(GatherArgs a);
 
 struct ScatterArgs {
   Rank* rank = nullptr;
@@ -39,7 +47,11 @@ struct ScatterArgs {
   void check() const;
 };
 
+sim::CoTask<void> scatter(ScatterArgs a,
+                          ScatterAlgo algo = ScatterAlgo::automatic);
 sim::CoTask<void> scatter_binomial(ScatterArgs a);
+// Root sends p-1 blocks directly (non-blocking fan-out).
+sim::CoTask<void> scatter_linear(ScatterArgs a);
 
 // ---- Allgather ----
 
@@ -64,6 +76,8 @@ sim::CoTask<void> allgather_rd(AllgatherArgs a);
 
 // ---- Reduce-scatter (equal block counts per rank) ----
 
+enum class ReduceScatterAlgo { ring, reduce_then_scatter, automatic };
+
 struct ReduceScatterArgs {
   Rank* rank = nullptr;
   const Comm* comm = nullptr;
@@ -81,8 +95,18 @@ struct ReduceScatterArgs {
   void check() const;
 };
 
-// Ring reduce-scatter (bandwidth optimal; p-1 steps).
+// Automatic routes non-commutative ops to reduce_then_scatter (the ring
+// folds blocks in rotation order, which cannot honour ascending comm-rank
+// operand order); commutative ops take the bandwidth-optimal ring.
+sim::CoTask<void> reduce_scatter(
+    ReduceScatterArgs a,
+    ReduceScatterAlgo algo = ReduceScatterAlgo::automatic);
+// Ring reduce-scatter (bandwidth optimal; p-1 steps). Commutative ops only.
 sim::CoTask<void> reduce_scatter_ring(ReduceScatterArgs a);
+// Binomial reduce of the full vector to comm rank 0 followed by a binomial
+// scatter of the reduced blocks. Order-preserving, so it is the fallback
+// for non-commutative ops (MPICH-style).
+sim::CoTask<void> reduce_scatter_reduce_then_scatter(ReduceScatterArgs a);
 
 // ---- Barrier ----
 

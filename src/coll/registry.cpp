@@ -13,6 +13,11 @@ const char* coll_kind_name(CollKind k) {
     case CollKind::reduce: return "reduce";
     case CollKind::bcast: return "bcast";
     case CollKind::alltoall: return "alltoall";
+    case CollKind::allgather: return "allgather";
+    case CollKind::reduce_scatter: return "reduce_scatter";
+    case CollKind::gather: return "gather";
+    case CollKind::scatter: return "scatter";
+    case CollKind::barrier: return "barrier";
   }
   return "?";
 }
@@ -83,6 +88,19 @@ const CollDescriptor& CollRegistry::at(CollKind kind,
     os << "unknown " << coll_kind_name(kind) << " algorithm '" << name
        << "'; registered:";
     for (const std::string& n : names(kind)) os << " " << n;
+    // A kind/algorithm mix-up (e.g. --collective bcast --algorithm dpml) is
+    // far more common than a typo; say which kinds do register the name.
+    std::string others;
+    for (CollKind k : kAllCollKinds) {
+      if (k != kind && find(k, name) != nullptr) {
+        if (!others.empty()) others += ", ";
+        others += coll_kind_name(k);
+      }
+    }
+    if (!others.empty()) {
+      os << " ('" << name << "' is a registered algorithm of: " << others
+         << ")";
+    }
     DPML_CHECK_MSG(false, os.str());
   }
   return *d;
@@ -119,6 +137,7 @@ void ensure_builtin_collectives() {
     link_reduce_collectives();
     link_bcast_collectives();
     link_alltoall_collectives();
+    link_group_collectives();
     return true;
   }();
   (void)once;

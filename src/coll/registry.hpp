@@ -9,10 +9,13 @@
 // through the registry instead of per-op switch ladders, so adding an
 // algorithm — or a whole collective kind — never touches the dispatcher.
 //
-// The four reduction-collective kinds share one entry currency: CollArgs
-// (vector length, dtype, op, buffers, root) plus a CollSpec naming the
-// algorithm and its runtime parameters. Factories adapt CollArgs to the
-// per-op argument structs (ReduceArgs, BcastArgs, AlltoallArgs).
+// The nine collective kinds share one entry currency: CollArgs (vector
+// length, dtype, op, buffers, root) plus a CollSpec naming the algorithm and
+// its runtime parameters. `count` is interpreted per kind (see coll.hpp):
+// the full vector for allreduce/reduce/bcast, the per-block element count
+// for alltoall/allgather/reduce_scatter/gather/scatter, and 0 for barrier.
+// Factories adapt CollArgs to the per-op argument structs (ReduceArgs,
+// BcastArgs, AlltoallArgs, GatherArgs, ...).
 #pragma once
 
 #include <cstddef>
@@ -30,10 +33,23 @@ class SharpFabric;
 
 namespace dpml::coll {
 
-enum class CollKind { allreduce, reduce, bcast, alltoall };
+enum class CollKind {
+  allreduce,
+  reduce,
+  bcast,
+  alltoall,
+  allgather,
+  reduce_scatter,
+  gather,
+  scatter,
+  barrier,
+};
 
 inline constexpr CollKind kAllCollKinds[] = {
-    CollKind::allreduce, CollKind::reduce, CollKind::bcast, CollKind::alltoall};
+    CollKind::allreduce,      CollKind::reduce,  CollKind::bcast,
+    CollKind::alltoall,       CollKind::allgather,
+    CollKind::reduce_scatter, CollKind::gather,  CollKind::scatter,
+    CollKind::barrier};
 
 const char* coll_kind_name(CollKind k);
 // Throws util::InvariantError listing the valid kind names.
@@ -122,5 +138,6 @@ void link_sharp_collectives();
 void link_reduce_collectives();
 void link_bcast_collectives();
 void link_alltoall_collectives();
+void link_group_collectives();
 
 }  // namespace dpml::coll

@@ -168,14 +168,23 @@ check::CollOp to_check_op(CollKind kind) {
     case CollKind::reduce: return check::CollOp::reduce;
     case CollKind::bcast: return check::CollOp::bcast;
     case CollKind::alltoall: return check::CollOp::alltoall;
+    case CollKind::allgather: return check::CollOp::allgather;
+    case CollKind::reduce_scatter: return check::CollOp::reduce_scatter;
+    case CollKind::gather: return check::CollOp::gather;
+    case CollKind::scatter: return check::CollOp::scatter;
+    case CollKind::barrier: return check::CollOp::barrier;
   }
   return check::CollOp::allreduce;
 }
 
 // The span a rank contributes to a collective (what a serial reference
-// reduction folds): allreduce/reduce read send (or recv when in-place),
-// bcast reads the root's buffer, alltoall reads the p send blocks.
-coll::ConstBytes check_input_of(CollKind kind, const coll::CollArgs& args) {
+// reduction folds or a placement reference concatenates): allreduce/reduce
+// read send (or recv when in-place), bcast reads the root's buffer,
+// alltoall/reduce_scatter read the p send blocks, allgather/gather read the
+// rank's one block (in-place allgather reads it out of recv), scatter reads
+// the root's p blocks, barrier moves no data.
+coll::ConstBytes check_input_of(CollKind kind, const coll::CollArgs& args,
+                                int comm_rank) {
   switch (kind) {
     case CollKind::allreduce:
     case CollKind::reduce:
@@ -183,7 +192,20 @@ coll::ConstBytes check_input_of(CollKind kind, const coll::CollArgs& args) {
     case CollKind::bcast:
       return coll::as_const(args.recv);
     case CollKind::alltoall:
+    case CollKind::reduce_scatter:
       return args.send;
+    case CollKind::gather:
+      return args.send;
+    case CollKind::allgather:
+      if (!args.inplace) return args.send;
+      if (comm_rank < 0 || args.recv.empty()) return {};
+      return coll::sub(coll::as_const(args.recv),
+                       static_cast<std::size_t>(comm_rank) * args.bytes(),
+                       args.bytes());
+    case CollKind::scatter:
+      return comm_rank == args.root ? args.send : coll::ConstBytes{};
+    case CollKind::barrier:
+      return {};
   }
   return {};
 }
@@ -205,7 +227,7 @@ sim::CoTask<void> run_attributed(const coll::CollDescriptor& d,
 
   // Snapshot the spans before `args` is moved into the algorithm coroutine.
   check::Checker* ck = comm_rank >= 0 ? m.checker() : nullptr;
-  const coll::ConstBytes check_in = check_input_of(d.kind, args);
+  const coll::ConstBytes check_in = check_input_of(d.kind, args, comm_rank);
   const coll::ConstBytes check_out = coll::as_const(args.recv);
   std::uint64_t check_token = 0;
   if (ck != nullptr) {
@@ -256,7 +278,8 @@ sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
                  "spec.leaders must be >= 1 for " + d.name);
   DPML_CHECK_MSG(spec.pipeline_k >= 1,
                  "spec.pipeline_k must be >= 1 for " + d.name);
-  if (kind == CollKind::reduce || kind == CollKind::bcast) {
+  if (kind == CollKind::reduce || kind == CollKind::bcast ||
+      kind == CollKind::gather || kind == CollKind::scatter) {
     DPML_CHECK_MSG(args.root >= 0 && args.root < args.comm->size(),
                    "root out of range for " + d.name);
   }

@@ -85,7 +85,9 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
                        int rep) {
   RepOutcome out;
   const std::size_t esize = simmpi::dtype_size(opt.dt);
-  const std::size_t count = bytes / esize;
+  // Barrier moves no data: count is 0 by convention (`bytes` only names the
+  // sweep point it rode in on).
+  const std::size_t count = kind == CollKind::barrier ? 0 : bytes / esize;
   const coll::CollDescriptor& desc =
       coll::CollRegistry::instance().at(kind, spec.algo);
 
@@ -150,6 +152,40 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
           }
           rb.resize(static_cast<std::size_t>(world) * bytes);
           break;
+        case CollKind::allgather:
+          sb = simmpi::make_operand(opt.dt, count, w, opt.op, opt.seed);
+          rb.resize(static_cast<std::size_t>(world) * bytes);
+          break;
+        case CollKind::reduce_scatter:
+          // Per-(owner, block) operands, like alltoall: rank w sends world
+          // blocks, block dst is folded into rank dst's result.
+          sb.reserve(static_cast<std::size_t>(world) * bytes);
+          for (int dst = 0; dst < world; ++dst) {
+            auto block = simmpi::make_operand(
+                opt.dt, count, alltoall_block_id(w, dst, world), opt.op,
+                opt.seed);
+            sb.insert(sb.end(), block.begin(), block.end());
+          }
+          rb.resize(bytes);
+          break;
+        case CollKind::gather:
+          sb = simmpi::make_operand(opt.dt, count, w, opt.op, opt.seed);
+          if (w == opt.root) rb.resize(static_cast<std::size_t>(world) * bytes);
+          break;
+        case CollKind::scatter:
+          if (w == opt.root) {
+            sb.reserve(static_cast<std::size_t>(world) * bytes);
+            for (int dst = 0; dst < world; ++dst) {
+              auto block = simmpi::make_operand(
+                  opt.dt, count, alltoall_block_id(opt.root, dst, world),
+                  opt.op, opt.seed);
+              sb.insert(sb.end(), block.begin(), block.end());
+            }
+          }
+          rb.resize(bytes);
+          break;
+        case CollKind::barrier:
+          break;  // no payload
       }
     }
   }
@@ -227,6 +263,57 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
         }
         break;
       }
+      case CollKind::allgather:
+      case CollKind::gather: {
+        // Placement reference: the per-rank operands in rank order.
+        std::vector<std::byte> expect;
+        expect.reserve(static_cast<std::size_t>(world) * bytes);
+        for (int src = 0; src < world; ++src) {
+          const auto block =
+              simmpi::make_operand(opt.dt, count, src, opt.op, opt.seed);
+          expect.insert(expect.end(), block.begin(), block.end());
+        }
+        if (kind == CollKind::gather) {
+          out.verified = recvbufs[static_cast<std::size_t>(opt.root)] == expect;
+        } else {
+          for (int w = 0; w < world; ++w) {
+            if (recvbufs[static_cast<std::size_t>(w)] != expect) {
+              out.verified = false;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case CollKind::reduce_scatter: {
+        // Rank w's block: fold block w of every rank's send vector in
+        // ascending rank order (exact for make_operand values).
+        const simmpi::Op fold{opt.op};
+        for (int w = 0; w < world && out.verified; ++w) {
+          auto ref = simmpi::make_operand(
+              opt.dt, count, alltoall_block_id(0, w, world), opt.op, opt.seed);
+          for (int src = 1; src < world; ++src) {
+            const auto block = simmpi::make_operand(
+                opt.dt, count, alltoall_block_id(src, w, world), opt.op,
+                opt.seed);
+            fold.apply(opt.dt, count, simmpi::MutBytes{ref},
+                       simmpi::ConstBytes{block});
+          }
+          out.verified = recvbufs[static_cast<std::size_t>(w)] == ref;
+        }
+        break;
+      }
+      case CollKind::scatter: {
+        for (int w = 0; w < world && out.verified; ++w) {
+          const auto block = simmpi::make_operand(
+              opt.dt, count, alltoall_block_id(opt.root, w, world), opt.op,
+              opt.seed);
+          out.verified = recvbufs[static_cast<std::size_t>(w)] == block;
+        }
+        break;
+      }
+      case CollKind::barrier:
+        break;  // arrival semantics only; nothing to verify
     }
   }
   return out;

@@ -98,10 +98,14 @@ void run_affine(CollKind kind, const std::string& algo, Dtype dt,
     spec.fabric = &*fabric;
   }
 
+  // reduce_scatter takes the per-block count; each rank contributes the
+  // full count*world vector and keeps its own comm-rank-ordered block.
+  const bool scatters = kind == CollKind::reduce_scatter;
+  const std::size_t total = scatters ? count * kWorld : count;
   const std::size_t esize = simmpi::dtype_size(dt);
   std::vector<std::vector<std::byte>> sendb(kWorld), recvb(kWorld);
   for (int w = 0; w < kWorld; ++w) {
-    sendb[static_cast<std::size_t>(w)] = testing::affine_operand(dt, count, w);
+    sendb[static_cast<std::size_t>(w)] = testing::affine_operand(dt, total, w);
     recvb[static_cast<std::size_t>(w)].resize(count * esize);
   }
 
@@ -119,7 +123,7 @@ void run_affine(CollKind kind, const std::string& algo, Dtype dt,
     co_await core::run_collective(kind, a, spec);
   });
 
-  const std::vector<std::byte> ref = testing::affine_reference(dt, count,
+  const std::vector<std::byte> ref = testing::affine_reference(dt, total,
                                                                kWorld);
   const std::string what = std::string(coll::coll_kind_name(kind)) + "/" +
                            algo + " dt=" + simmpi::dtype_name(dt) +
@@ -129,17 +133,27 @@ void run_affine(CollKind kind, const std::string& algo, Dtype dt,
       EXPECT_EQ(recvb[static_cast<std::size_t>(w)], ref)
           << what << " rank " << w;
     }
+  } else if (scatters) {
+    for (int w = 0; w < kWorld; ++w) {
+      const auto i = static_cast<std::size_t>(w);
+      const std::vector<std::byte> block(
+          ref.begin() + static_cast<std::ptrdiff_t>(i * count * esize),
+          ref.begin() + static_cast<std::ptrdiff_t>((i + 1) * count * esize));
+      EXPECT_EQ(recvb[i], block) << what << " rank " << w;
+    }
   } else {
     EXPECT_EQ(recvb[static_cast<std::size_t>(root)], ref) << what;
   }
 }
 
 TEST(CheckMatrix, NonCommutativeOpFoldsInRankOrderEverywhere) {
-  for (CollKind kind : {CollKind::allreduce, CollKind::reduce}) {
+  for (CollKind kind : {CollKind::allreduce, CollKind::reduce,
+                        CollKind::reduce_scatter}) {
     const int root = kind == CollKind::reduce ? 2 : 0;
     for (const coll::CollDescriptor* d : CollRegistry::instance().list(kind)) {
       if (kWorld < d->caps.min_comm_size) continue;
-      // Small/eager i32 and a >rendezvous i64 payload (1024 * 8 B = 8 KiB).
+      // Small/eager i32 and a >rendezvous i64 payload (1024 * 8 B = 8 KiB;
+      // for reduce_scatter the per-block counts keep the same footprints).
       run_affine(kind, d->name, Dtype::i32, 16, root);
       run_affine(kind, d->name, Dtype::i64, 1024, root);
     }
@@ -163,6 +177,8 @@ TEST(CheckMatrix, AffineOpIsNonCommutativeAndAssociative) {
 // MPI_IN_PLACE aliasing: recv holds the input on every rank (the repo-wide
 // convention; see coll.hpp). Every allreduce and reduce algorithm must
 // produce the reference result from aliased buffers, under strict checking.
+// Allgather's in-place form stages each rank's contribution in its own
+// comm-rank-ordered block of recv, matching MPI_IN_PLACE MPI_Allgather.
 
 void run_inplace(CollKind kind, const std::string& algo, int root) {
   const net::ClusterConfig cfg = net::cluster_by_name("test");
@@ -183,10 +199,20 @@ void run_inplace(CollKind kind, const std::string& algo, int root) {
 
   const Dtype dt = Dtype::f32;
   const std::size_t count = 512;  // 2 KiB
+  const std::size_t esize = simmpi::dtype_size(dt);
+  const bool gathers = kind == CollKind::allgather;
   std::vector<std::vector<std::byte>> recvb(kWorld);
   for (int w = 0; w < kWorld; ++w) {
-    recvb[static_cast<std::size_t>(w)] =
+    const auto i = static_cast<std::size_t>(w);
+    const auto operand =
         simmpi::make_operand(dt, count, w, simmpi::ReduceOp::sum, /*seed=*/1);
+    if (gathers) {
+      recvb[i].resize(count * esize * kWorld);
+      std::memcpy(recvb[i].data() + i * count * esize, operand.data(),
+                  operand.size());
+    } else {
+      recvb[i] = operand;
+    }
   }
 
   m.run([&](Rank& r) -> sim::CoTask<void> {
@@ -203,10 +229,23 @@ void run_inplace(CollKind kind, const std::string& algo, int root) {
     co_await core::run_collective(kind, a, spec);
   });
 
-  const auto ref = simmpi::reference_allreduce(dt, count, kWorld,
-                                               simmpi::ReduceOp::sum, 1);
   const std::string what =
       std::string(coll::coll_kind_name(kind)) + "/" + algo + " in-place";
+  if (gathers) {
+    std::vector<std::byte> concat;
+    for (int w = 0; w < kWorld; ++w) {
+      const auto piece =
+          simmpi::make_operand(dt, count, w, simmpi::ReduceOp::sum, 1);
+      concat.insert(concat.end(), piece.begin(), piece.end());
+    }
+    for (int w = 0; w < kWorld; ++w) {
+      EXPECT_EQ(recvb[static_cast<std::size_t>(w)], concat)
+          << what << " rank " << w;
+    }
+    return;
+  }
+  const auto ref = simmpi::reference_allreduce(dt, count, kWorld,
+                                               simmpi::ReduceOp::sum, 1);
   if (kind == CollKind::allreduce) {
     for (int w = 0; w < kWorld; ++w) {
       EXPECT_EQ(recvb[static_cast<std::size_t>(w)], ref)
@@ -224,6 +263,14 @@ TEST(CheckMatrix, InPlaceAliasingAcrossEveryReductionAlgorithm) {
       if (kWorld < d->caps.min_comm_size) continue;
       run_inplace(kind, d->name, root);
     }
+  }
+}
+
+TEST(CheckMatrix, InPlaceAllgatherAcrossEveryAlgorithm) {
+  for (const coll::CollDescriptor* d :
+       CollRegistry::instance().list(CollKind::allgather)) {
+    if (kWorld < d->caps.min_comm_size) continue;
+    run_inplace(CollKind::allgather, d->name, /*root=*/0);
   }
 }
 

@@ -245,6 +245,38 @@ TEST(ExecutorMatrix, EveryAlgorithmByteIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(ExecutorMatrix, NewPatternDpmlVariantsByteIdenticalAcrossJobCounts) {
+  // The multi-leader reduce_scatter/allgather variants with a leader count
+  // that does not divide ppn (ragged partitions), plus the pure-arrival
+  // barrier, all stay byte-identical across executor widths.
+  const net::ClusterConfig cfg = net::cluster_by_name("test");
+  core::MeasureOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 1;
+  opt.repetitions = 3;
+  opt.with_data = true;
+  opt.check = check::CheckLevel::strict;
+  opt.perturb = perturb::PerturbSpec::parse("skew=uniform:max_us=10;seed=9");
+  for (CollKind kind : {CollKind::reduce_scatter, CollKind::allgather}) {
+    CollSpec spec;
+    spec.algo = "dpml";
+    spec.leaders = 3;  // does not divide ppn=4
+    const std::string what =
+        std::string(coll::coll_kind_name(kind)) + "/dpml l=3";
+    const auto serial = measure_with_jobs(kind, cfg, spec, opt, 1);
+    EXPECT_TRUE(serial.verified) << what;
+    expect_identical(serial, measure_with_jobs(kind, cfg, spec, opt, 4),
+                     what + " jobs=4");
+  }
+  CollSpec bspec;
+  bspec.algo = "dissemination";
+  const auto serial = measure_with_jobs(CollKind::barrier, cfg, bspec, opt, 1);
+  EXPECT_TRUE(serial.verified) << "barrier/dissemination";
+  expect_identical(serial,
+                   measure_with_jobs(CollKind::barrier, cfg, bspec, opt, 4),
+                   "barrier/dissemination jobs=4");
+}
+
 TEST(ExecutorMatrix, FabricModeByteIdenticalAcrossJobCounts) {
   // The flow-level fabric adds max-min fair link sharing on top of the
   // engine; its utilization telemetry must also be jobs-invariant.

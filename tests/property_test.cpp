@@ -110,6 +110,66 @@ INSTANTIATE_TEST_SUITE_P(Fuzz, RandomScenario,
                          ::testing::Range<std::uint64_t>(1, 41));
 
 // ---------------------------------------------------------------------------
+// Randomized every-kind sweep: a seeded random (kind, algorithm, shape,
+// dtype, op, root, leaders) draw for each of the nine registry kinds must
+// verify against its per-kind serial reference under strict checking and
+// repeat with identical simulated time and event count.
+
+TEST(RandomKindProperty, EveryKindExactAndDeterministic) {
+  const Dtype dtypes[] = {Dtype::f32, Dtype::f64, Dtype::i32, Dtype::i64,
+                          Dtype::u8};
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    util::SplitMix64 rng(seed);
+    const coll::CollKind kind = coll::kAllCollKinds[rng.next_below(
+        std::size(coll::kAllCollKinds))];
+    const auto algos = coll::CollRegistry::instance().names(kind);
+    const std::string algo = algos[rng.next_below(algos.size())];
+    const auto& d = coll::CollRegistry::instance().at(kind, algo);
+    const int nodes = static_cast<int>(2 + rng.next_below(3));
+    int ppn = static_cast<int>(1 + rng.next_below(4));
+    while (nodes * ppn < d.caps.min_comm_size) ++ppn;
+    const Dtype dt = dtypes[rng.next_below(std::size(dtypes))];
+    const std::size_t count = 1 + rng.next_below(900);
+
+    coll::CollSpec spec;
+    spec.algo = algo;
+    spec.leaders = static_cast<int>(1 + rng.next_below(6));
+    MeasureOptions opt;
+    opt.with_data = true;
+    opt.iterations = 2;
+    opt.warmup = 1;
+    opt.dt = dt;
+    switch (rng.next_below(3)) {
+      case 0: opt.op = ReduceOp::sum; break;
+      case 1: opt.op = ReduceOp::min; break;
+      default: opt.op = ReduceOp::max; break;
+    }
+    opt.root = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(nodes * ppn)));
+    opt.check = check::CheckLevel::strict;
+    opt.seed = seed;
+
+    const auto cfg = net::test_cluster(nodes);
+    const std::string what = std::string(coll::coll_kind_name(kind)) + "/" +
+                             algo + " " + std::to_string(nodes) + "x" +
+                             std::to_string(ppn) + " n=" +
+                             std::to_string(count) + " " +
+                             simmpi::dtype_name(dt) + " root=" +
+                             std::to_string(opt.root) + " l=" +
+                             std::to_string(spec.leaders);
+    const auto a = measure_collective(kind, cfg, nodes, ppn,
+                                      count * simmpi::dtype_size(dt), spec,
+                                      opt);
+    EXPECT_TRUE(a.verified) << what;
+    const auto b = measure_collective(kind, cfg, nodes, ppn,
+                                      count * simmpi::dtype_size(dt), spec,
+                                      opt);
+    EXPECT_EQ(a.avg_us, b.avg_us) << what << " nondeterministic time";
+    EXPECT_EQ(a.events, b.events) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Random workloads through the sweep executor, under strict simcheck.
 //
 // Each workload is a pure function of its seed: it builds its own Machine

@@ -1,7 +1,8 @@
 // dpmlsim — command-line driver for the simulated-cluster collective lab.
 //
 // Subcommands:
-//   latency     measure one allreduce design over a size sweep
+//   latency     measure one collective design over a size sweep (any of the
+//               nine --collective kinds)
 //   sweep       leader-count sweep table (Figures 4-7 style)
 //   tune        empirical per-size tuning; prints a selection table
 //   throughput  osu_mbw_mr relative-throughput table (Figure 1 style)
@@ -60,7 +61,8 @@ int usage() {
       "  replay:     --trace FILE --reps N --algo NAME\n"
       "  verify:     --nodes N --ppn P  (data-mode self-test, all kinds)\n"
       "common:       --cluster A|B|C|D|test --nodes N --ppn P --rails R\n"
-      "              --collective allreduce|reduce|bcast|alltoall\n"
+      "              --collective allreduce|reduce|bcast|alltoall|allgather|\n"
+      "                reduce_scatter|gather|scatter|barrier\n"
       "              --perturb SPEC  (e.g. \"jitter=lognormal:sigma=0.2;"
       "skew=uniform:max_us=50;seed=7\")\n"
       "              --reps N  (independent noise realizations per point)\n"
@@ -86,6 +88,9 @@ int usage() {
       "              --perf  (print host-side perf counters per point:\n"
       "                simulated events/sec, peak live events, pool hit\n"
       "                rates, wall-ms per simulated-ms)\n"
+      "              --perf-json FILE  (write the sweep's aggregate perf\n"
+      "                counters as JSON, for trajectory diffs against the\n"
+      "                checked-in BENCH_perf.json snapshot)\n"
       "              --list-algorithms  (print the collective registry)\n"
       "              --list-clusters  (print presets with derived fabric\n"
       "                link counts and capacities)\n";
@@ -158,6 +163,53 @@ int cmd_list_clusters() {
   return 0;
 }
 
+// Aggregate host-side perf counters across a sweep, serializable as the
+// JSON snapshot format diffed by CI (--perf-json, bench_patterns).
+struct PerfAgg {
+  std::uint64_t events = 0;
+  std::uint64_t peak_live = 0;
+  double wall_ms = 0.0;
+  double cb_hits = 0.0;
+  double pl_hits = 0.0;
+  int rows = 0;
+
+  void add(const core::MeasureResult& r) {
+    events += r.perf.events;
+    peak_live = std::max(peak_live, r.perf.peak_live_events);
+    wall_ms += r.perf.wall_ms;
+    cb_hits += r.perf.callback_pool_hit_rate;
+    pl_hits += r.perf.payload_pool_hit_rate;
+    ++rows;
+  }
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0.0;
+  }
+  double cb_hit_rate() const {
+    return rows > 0 ? cb_hits / static_cast<double>(rows) : 0.0;
+  }
+  double pl_hit_rate() const {
+    return rows > 0 ? pl_hits / static_cast<double>(rows) : 0.0;
+  }
+
+  bool write_json(const std::string& path, const std::string& tool) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "{\n"
+       << "  \"tool\": \"" << tool << "\",\n"
+       << "  \"points\": " << rows << ",\n"
+       << "  \"jobs\": " << core::default_jobs() << ",\n"
+       << "  \"events\": " << events << ",\n"
+       << "  \"events_per_sec\": " << static_cast<long long>(events_per_sec())
+       << ",\n"
+       << "  \"peak_live_events\": " << peak_live << ",\n"
+       << "  \"callback_pool_hit_rate\": " << cb_hit_rate() << ",\n"
+       << "  \"payload_pool_hit_rate\": " << pl_hit_rate() << ",\n"
+       << "  \"wall_ms\": " << wall_ms << "\n"
+       << "}\n";
+    return true;
+  }
+};
+
 core::MeasureOptions measure_opts(const util::Args& args) {
   core::MeasureOptions opt;
   opt.iterations = static_cast<int>(args.get_int("iterations", 3));
@@ -215,6 +267,7 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   const bool perturbed = !opt.perturb.empty() || opt.repetitions > 1;
   const bool fabric_on = opt.fabric != fabric::FabricLevel::none;
   const bool perf_on = args.get_bool("perf", false);
+  const std::string perf_json = args.get("perf-json");
   std::vector<std::string> header{"msg size", "design", "latency (us)"};
   if (perturbed) {
     header.insert(header.end(),
@@ -224,12 +277,9 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   if (perf_on) header.insert(header.end(), {"events", "Mev/s", "wall/sim"});
   header.push_back("verified");
   util::Table t(header);
-  // Host-side perf aggregates across the whole size sweep (--perf).
-  std::uint64_t perf_events = 0;
-  std::uint64_t perf_peak_live = 0;
-  double perf_wall_ms = 0.0;
-  double perf_cb_hits = 0.0, perf_pl_hits = 0.0;
-  int perf_rows = 0;
+  // Host-side perf aggregates across the whole size sweep (--perf and/or
+  // --perf-json).
+  PerfAgg agg;
   for (std::size_t bytes : sizes) {
     const core::CollSpec used = table ? table->select(kind, bytes) : spec;
     const auto r =
@@ -249,13 +299,8 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
       t.cell(static_cast<long long>(r.perf.events))
           .cell(r.perf.events_per_sec / 1e6, 2)
           .cell(r.perf.wall_ms_per_sim_ms, 2);
-      perf_events += r.perf.events;
-      perf_peak_live = std::max(perf_peak_live, r.perf.peak_live_events);
-      perf_wall_ms += r.perf.wall_ms;
-      perf_cb_hits += r.perf.callback_pool_hit_rate;
-      perf_pl_hits += r.perf.payload_pool_hit_rate;
-      ++perf_rows;
     }
+    if (perf_on || !perf_json.empty()) agg.add(r);
     t.cell(std::string(r.verified ? "yes" : "NO"));
   }
   std::cout << coll::coll_kind_name(kind) << " "
@@ -268,18 +313,19 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   }
   std::cout << "\n";
   t.print(std::cout);
-  if (perf_on && perf_rows > 0) {
-    std::cout << "\n[perf] jobs=" << core::default_jobs() << ", "
-              << perf_events << " simulated events in " << perf_wall_ms
-              << " ms wall ("
-              << (perf_wall_ms > 0.0
-                      ? static_cast<double>(perf_events) / (perf_wall_ms * 1e3)
-                      : 0.0)
-              << " Mev/s), peak live events " << perf_peak_live
-              << ", pool hit rates cb="
-              << perf_cb_hits / static_cast<double>(perf_rows)
-              << " payload=" << perf_pl_hits / static_cast<double>(perf_rows)
-              << "\n";
+  if (perf_on && agg.rows > 0) {
+    std::cout << "\n[perf] jobs=" << core::default_jobs() << ", " << agg.events
+              << " simulated events in " << agg.wall_ms << " ms wall ("
+              << agg.events_per_sec() / 1e6 << " Mev/s), peak live events "
+              << agg.peak_live << ", pool hit rates cb=" << agg.cb_hit_rate()
+              << " payload=" << agg.pl_hit_rate() << "\n";
+  }
+  if (!perf_json.empty()) {
+    if (!agg.write_json(perf_json, "dpmlsim latency")) {
+      std::cerr << "cannot write perf json " << perf_json << "\n";
+      return 1;
+    }
+    std::cout << "perf counters written to " << perf_json << "\n";
   }
   return 0;
 }
