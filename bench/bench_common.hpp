@@ -100,10 +100,13 @@ class SeriesStore {
 // Flags shared by every bench driver but unknown to google-benchmark.
 // strip_common_flags removes them from argv before Initialize sees them:
 //   --smoke        tiny CI shape (driver-interpreted)
+//   --time-only    payload-free data plane (driver-interpreted; simulated
+//                  latencies are bit-identical, host memory/time shrink)
 //   --jobs N       sweep-executor width (also --jobs=N; sets the process
 //                  default, so every measure() call fans its reps out too)
 struct BenchFlags {
   bool smoke = false;
+  bool time_only = false;
 };
 
 inline BenchFlags strip_common_flags(int& argc, char** argv) {
@@ -112,6 +115,8 @@ inline BenchFlags strip_common_flags(int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       flags.smoke = true;
+    } else if (std::strcmp(argv[i], "--time-only") == 0) {
+      flags.time_only = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       core::set_default_jobs(std::atoi(argv[++i]));
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -145,6 +150,25 @@ inline std::atomic<std::uint64_t>& sim_event_counter() {
   return events;
 }
 
+// High-water mark of any point's event-queue backlog (EnginePerf
+// peak_queue_depth), maximized across all points. Atomic for the same
+// reason.
+inline std::atomic<std::uint64_t>& sim_queue_depth_peak() {
+  static std::atomic<std::uint64_t> depth{0};
+  return depth;
+}
+
+// Fold one measurement's perf counters into the process-wide bench
+// aggregates (events sum, queue-depth max).
+inline void note_measure_perf(const core::MeasureResult& r) {
+  sim_event_counter() += r.events;
+  std::uint64_t seen = sim_queue_depth_peak().load();
+  while (seen < r.perf.peak_queue_depth &&
+         !sim_queue_depth_peak().compare_exchange_weak(
+             seen, r.perf.peak_queue_depth)) {
+  }
+}
+
 // Register a single-iteration manual-time benchmark point that evaluates
 // `fn` (microseconds of simulated time) and records it in `store`.
 // Evaluation is deferred to run_benchmarks(), which fans all pending points
@@ -160,7 +184,7 @@ inline double latency_us(const net::ClusterConfig& cfg, int nodes, int ppn,
                          std::size_t bytes, const core::AllreduceSpec& spec) {
   const core::MeasureResult r =
       core::measure_allreduce(cfg, nodes, ppn, bytes, spec, default_opts());
-  sim_event_counter() += r.events;
+  note_measure_perf(r);
   return r.avg_us;
 }
 
@@ -178,10 +202,13 @@ inline int run_benchmarks(int argc, char** argv) {
   std::vector<PendingPoint>& points = pending_points();
   const core::Executor executor;
   sim_event_counter() = 0;
-  const auto wall_start = std::chrono::steady_clock::now();
+  // Host-side wall clock for the events/sec perf line, not simulated time.
+  const auto wall_start =
+      std::chrono::steady_clock::now();  // dpmllint: allow(wall-clock)
   const std::vector<double> values = executor.map<double>(
       points.size(), [&](std::size_t i) { return points[i].fn(); });
-  const auto wall_end = std::chrono::steady_clock::now();
+  const auto wall_end =
+      std::chrono::steady_clock::now();  // dpmllint: allow(wall-clock)
   const double wall_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
 
@@ -209,6 +236,9 @@ inline int run_benchmarks(int argc, char** argv) {
     std::cout << ", " << events << " simulated events ("
               << (static_cast<double>(events) / wall_s) / 1e6 << " Mev/s)";
   }
+  const std::uint64_t depth = sim_queue_depth_peak().load();
+  if (depth > 0) std::cout << ", peak queue depth " << depth;
+  std::cout << ", peak RSS " << sim::peak_rss_kb() << " KB";
   std::cout << "\n";
   points.clear();
   return 0;

@@ -1,0 +1,166 @@
+// Figure 10 extension: MPI_Allreduce latency far beyond the paper's
+// testbeds — 1,024 to 262,144 nodes (one rank per node, 16 KB, the tuned
+// dpml-auto stack) on the cluster B (Xeon + EDR IB) and cluster D
+// (KNL + Omni-Path) node/NIC models, extrapolated with net::with_nodes.
+//
+// At these scales payload buffers alone would dwarf host memory, so the
+// sweep runs on the time-only data plane (docs/MODEL.md §10): messages
+// carry only (size, dtype, op-cost) metadata and the simulated latencies
+// are bit-identical to a payload-mode run. Passing --time-only is
+// therefore implied for the full sweep; --smoke keeps a tiny CI shape
+// (64 and 512 nodes, 2 ppn) that honors the flag as given.
+//
+// Flags beyond the common bench set (--smoke, --time-only, --jobs N):
+//   --perf-json FILE   write aggregate host-perf counters (events/sec,
+//                      peak queue depth, peak RSS, elided payload bytes)
+//                      as JSON — appended to BENCH_perf.json by CI
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "net/cluster.hpp"
+
+namespace {
+
+using namespace dpml;
+
+struct XscaleFlags {
+  std::string perf_json;
+};
+
+XscaleFlags strip_xscale_flags(int& argc, char** argv) {
+  XscaleFlags f;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--perf-json" && i + 1 < argc) {
+      f.perf_json = argv[++i];
+    } else if (a.rfind("--perf-json=", 0) == 0) {
+      f.perf_json = a.substr(12);
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  return f;
+}
+
+// Per-point perf results, committed by slot index so the post-run aggregate
+// is independent of executor scheduling.
+std::vector<core::MeasurePerf> perf_slots;
+
+bool write_perf_json(const std::string& path, int points, int jobs,
+                     const std::string& data_mode) {
+  std::uint64_t events = 0;
+  std::uint64_t peak_live = 0;
+  std::uint64_t peak_queue = 0;
+  std::uint64_t peak_rss = 0;
+  std::uint64_t elided = 0;
+  double wall_ms = 0.0, cb_hits = 0.0, pl_hits = 0.0;
+  for (const core::MeasurePerf& p : perf_slots) {
+    events += p.events;
+    peak_live = std::max(peak_live, p.peak_live_events);
+    peak_queue = std::max(peak_queue, p.peak_queue_depth);
+    peak_rss = std::max(peak_rss, p.peak_rss_kb);
+    elided += p.elided_bytes;
+    wall_ms += p.wall_ms;
+    cb_hits += p.callback_pool_hit_rate;
+    pl_hits += p.payload_pool_hit_rate;
+  }
+  const double n = perf_slots.empty()
+                       ? 1.0
+                       : static_cast<double>(perf_slots.size());
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"tool\": \"bench_fig10_xscale\",\n"
+     << "  \"data_mode\": \"" << data_mode << "\",\n"
+     << "  \"points\": " << points << ",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"events\": " << events << ",\n"
+     << "  \"events_per_sec\": "
+     << (wall_ms > 0.0
+             ? static_cast<long long>(static_cast<double>(events) /
+                                      (wall_ms / 1e3))
+             : 0)
+     << ",\n"
+     << "  \"peak_live_events\": " << peak_live << ",\n"
+     << "  \"peak_queue_depth\": " << peak_queue << ",\n"
+     << "  \"peak_rss_kb\": " << peak_rss << ",\n"
+     << "  \"elided_bytes\": " << elided << ",\n"
+     << "  \"callback_pool_hit_rate\": " << cb_hits / n << ",\n"
+     << "  \"payload_pool_hit_rate\": " << pl_hits / n << ",\n"
+     << "  \"wall_ms\": " << wall_ms << "\n"
+     << "}\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchFlags bf = benchx::strip_common_flags(argc, argv);
+  const XscaleFlags xf = strip_xscale_flags(argc, argv);
+
+  // The full sweep's top points (262,144 ranks x 16 KB) cannot carry
+  // payload on a workstation; force the time-only plane rather than fail.
+  if (!bf.smoke && !bf.time_only) {
+    std::cerr << "bench_fig10_xscale: extreme-scale sweep runs on the "
+                 "time-only data plane (simulated latencies are "
+                 "bit-identical); enabling --time-only\n";
+    bf.time_only = true;
+  }
+
+  core::MeasureOptions opt;
+  opt.iterations = 1;
+  opt.warmup = 0;
+  if (bf.time_only) opt.data_mode = sim::DataMode::timeonly;
+
+  const std::vector<int> node_counts =
+      bf.smoke ? std::vector<int>{64, 512}
+               : std::vector<int>{1024, 4096, 16384, 65536, 262144};
+  const int ppn = bf.smoke ? 2 : 1;
+  const std::size_t bytes = 16384;
+
+  const std::vector<net::ClusterConfig> bases = {net::cluster_b(),
+                                                 net::cluster_d()};
+  static benchx::SeriesStore store;
+
+  int slot = 0;
+  for (const net::ClusterConfig& base : bases) {
+    for (const int nodes : node_counts) {
+      const net::ClusterConfig cfg = net::with_nodes(base, nodes);
+      core::AllreduceSpec spec;
+      spec.algo = core::Algorithm::dpml_auto;
+      const std::string row = std::to_string(nodes);
+      const int my_slot = slot++;
+      benchx::register_point(
+          "fig10x/" + base.name + "/nodes:" + row, store, row, base.name,
+          [=]() {
+            const core::MeasureResult r = core::measure_allreduce(
+                cfg, nodes, ppn, bytes, spec, opt);
+            benchx::note_measure_perf(r);
+            perf_slots[static_cast<std::size_t>(my_slot)] = r.perf;
+            return r.avg_us;
+          });
+    }
+  }
+  perf_slots.resize(static_cast<std::size_t>(slot));
+
+  const int rc = benchx::run_benchmarks(argc, argv);
+  store.print("Fig 10x — MPI_Allreduce 16 KB latency (us) vs node count, "
+                  "ppn=" + std::to_string(ppn) + ", dpml-auto, " +
+                  (bf.time_only ? "time-only" : "payload") + " plane",
+              "nodes");
+  if (!xf.perf_json.empty()) {
+    if (!write_perf_json(xf.perf_json, slot, core::default_jobs(),
+                         sim::data_mode_name(opt.data_mode))) {
+      std::cerr << "cannot write perf json " << xf.perf_json << "\n";
+      return 1;
+    }
+    std::cout << "\nperf counters written to " << xf.perf_json << "\n";
+  }
+  return rc;
+}

@@ -8,9 +8,10 @@
 // "auto" dispatch. One table (rows = sizes, columns = kinds) prints per
 // cluster, plus CSV.
 //
-// Flags beyond the common bench set (--smoke, --jobs N):
+// Flags beyond the common bench set (--smoke, --time-only, --jobs N):
 //   --data             data mode with bit-exact per-kind verification
-//                      (implied by --smoke; failures fail the run)
+//                      (implied by --smoke unless --time-only; failures fail
+//                      the run)
 //   --perturb SPEC     machine perturbations, e.g. "jitter=lognormal:sigma=0.2"
 //   --fabric[=links]   flow-level congested fabric
 //   --check[=basic|strict]  simcheck MPI-semantics verification
@@ -103,13 +104,20 @@ core::CollSpec spec_for(core::CollKind kind) {
 std::vector<core::MeasurePerf> perf_slots;
 std::atomic<int> verify_failures{0};
 
-bool write_perf_json(const std::string& path, int points, int jobs) {
+bool write_perf_json(const std::string& path, int points, int jobs,
+                     const std::string& data_mode) {
   std::uint64_t events = 0;
   std::uint64_t peak_live = 0;
+  std::uint64_t peak_queue = 0;
+  std::uint64_t peak_rss = 0;
+  std::uint64_t elided = 0;
   double wall_ms = 0.0, cb_hits = 0.0, pl_hits = 0.0;
   for (const core::MeasurePerf& p : perf_slots) {
     events += p.events;
     peak_live = std::max(peak_live, p.peak_live_events);
+    peak_queue = std::max(peak_queue, p.peak_queue_depth);
+    peak_rss = std::max(peak_rss, p.peak_rss_kb);
+    elided += p.elided_bytes;
     wall_ms += p.wall_ms;
     cb_hits += p.callback_pool_hit_rate;
     pl_hits += p.payload_pool_hit_rate;
@@ -121,6 +129,7 @@ bool write_perf_json(const std::string& path, int points, int jobs) {
   if (!os) return false;
   os << "{\n"
      << "  \"tool\": \"bench_patterns\",\n"
+     << "  \"data_mode\": \"" << data_mode << "\",\n"
      << "  \"points\": " << points << ",\n"
      << "  \"jobs\": " << jobs << ",\n"
      << "  \"events\": " << events << ",\n"
@@ -131,6 +140,9 @@ bool write_perf_json(const std::string& path, int points, int jobs) {
              : 0)
      << ",\n"
      << "  \"peak_live_events\": " << peak_live << ",\n"
+     << "  \"peak_queue_depth\": " << peak_queue << ",\n"
+     << "  \"peak_rss_kb\": " << peak_rss << ",\n"
+     << "  \"elided_bytes\": " << elided << ",\n"
      << "  \"callback_pool_hit_rate\": " << cb_hits / n << ",\n"
      << "  \"payload_pool_hit_rate\": " << pl_hits / n << ",\n"
      << "  \"wall_ms\": " << wall_ms << "\n"
@@ -145,7 +157,17 @@ int main(int argc, char** argv) {
   const PatternFlags pf = strip_pattern_flags(argc, argv);
 
   core::MeasureOptions opt = benchx::default_opts();
-  opt.with_data = pf.data || bf.smoke;
+  opt.with_data = (pf.data || bf.smoke) && !bf.time_only;
+  if (bf.time_only) {
+    if (pf.data || !pf.check.empty()) {
+      std::cerr << "bench_patterns: incompatible flags: --time-only with "
+                << (pf.data ? "--data" : "--check")
+                << "; the time-only plane has no payload to verify — drop "
+                   "one of the flags\n";
+      return 1;
+    }
+    opt.data_mode = sim::DataMode::timeonly;
+  }
   opt.perturb = perturb::PerturbSpec::parse(pf.perturb);
   if (!opt.perturb.empty()) opt.repetitions = 2;
   if (!pf.check.empty()) opt.check = check::check_level_by_name(pf.check);
@@ -181,7 +203,7 @@ int main(int argc, char** argv) {
             row, col, [=]() {
               const core::MeasureResult r = core::measure_collective(
                   kind, cfg, nodes, ppn, bytes, spec, opt);
-              benchx::sim_event_counter() += r.events;
+              benchx::note_measure_perf(r);
               perf_slots[static_cast<std::size_t>(my_slot)] = r.perf;
               if (!r.verified) {
                 ++verify_failures;
@@ -205,7 +227,8 @@ int main(int argc, char** argv) {
                      "msg size");
   }
   if (!pf.perf_json.empty()) {
-    if (!write_perf_json(pf.perf_json, slot, core::default_jobs())) {
+    if (!write_perf_json(pf.perf_json, slot, core::default_jobs(),
+                         sim::data_mode_name(opt.data_mode))) {
       std::cerr << "cannot write perf json " << pf.perf_json << "\n";
       return 1;
     }

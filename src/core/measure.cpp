@@ -73,6 +73,7 @@ struct RepOutcome {
   sim::Time imb_wait = 0;
   sim::Time sim_end = 0;  // final simulated time of this machine
   sim::EnginePerf engine_perf;
+  std::uint64_t elided_bytes = 0;  // payload bytes elided (time-only plane)
 };
 
 // One repetition: fresh machine (perturbation seed shifted by `rep`), warmup
@@ -96,6 +97,8 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
   ropt.seed = opt.seed;
   ropt.check_level = opt.check;
   ropt.fabric_level = opt.fabric;
+  ropt.data_mode = opt.data_mode;
+  ropt.scheduler = opt.scheduler;
   ropt.perturb = opt.perturb;
   ropt.perturb.seed = opt.perturb.seed + static_cast<std::uint64_t>(rep);
   simmpi::Machine machine(cfg, nodes, ppn, ropt);
@@ -205,6 +208,7 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
   out.events = machine.engine().events_processed();
   out.sim_end = machine.engine().now();
   out.engine_perf = machine.engine().perf();
+  out.elided_bytes = machine.data_plane().elided_bytes();
   if (const fabric::FlowFabric* ff = machine.flow_fabric()) {
     out.fabric_links = true;
     out.max_link_util = ff->max_avg_link_utilization(machine.engine().now());
@@ -330,6 +334,27 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
                  "message size must be a multiple of the datatype size");
   DPML_CHECK(opt.iterations >= 1 && opt.warmup >= 0);
   DPML_CHECK_MSG(opt.repetitions >= 1, "measure needs at least one repetition");
+  // Time-only conflicts fail here, before any Machine is built, so a whole
+  // repetition sweep cannot die halfway through on the same error.
+  if (opt.data_mode == sim::DataMode::timeonly) {
+    DPML_CHECK_MSG(!opt.with_data,
+                   "data verification needs payload buffers: "
+                   "MeasureOptions::with_data conflicts with "
+                   "data_mode=timeonly; clear with_data or run "
+                   "data_mode=payload");
+    DPML_CHECK_MSG(opt.check == check::CheckLevel::off,
+                   "simcheck needs payload spans: MeasureOptions::check=" +
+                       std::string(check::check_level_name(opt.check)) +
+                       " conflicts with data_mode=timeonly; set check=off or "
+                       "run data_mode=payload");
+    const coll::CollDescriptor& desc =
+        coll::CollRegistry::instance().at(kind, spec.algo);
+    DPML_CHECK_MSG(!desc.caps.needs_payload,
+                   desc.name + " inspects payload bytes (needs_payload) and "
+                   "cannot run on the time-only data plane; run "
+                   "data_mode=payload or pick an algorithm without the "
+                   "needs-payload capability");
+  }
 
   MeasureResult res;
 
@@ -369,6 +394,11 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
     sim_total += rep.sim_end;
     res.perf.peak_live_events =
         std::max(res.perf.peak_live_events, rep.engine_perf.peak_live_events);
+    res.perf.peak_queue_depth =
+        std::max(res.perf.peak_queue_depth, rep.engine_perf.peak_queue_depth);
+    res.perf.peak_rss_kb =
+        std::max(res.perf.peak_rss_kb, rep.engine_perf.peak_rss_kb);
+    res.perf.elided_bytes += rep.elided_bytes;
     callback_pool.merge(rep.engine_perf.callback_pool);
     payload_pool.merge(rep.engine_perf.payload_pool);
   }

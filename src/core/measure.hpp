@@ -15,6 +15,7 @@
 #include "fabric/fabric.hpp"
 #include "net/cluster.hpp"
 #include "perturb/spec.hpp"
+#include "sim/dataplane.hpp"
 
 namespace dpml::core {
 
@@ -47,6 +48,13 @@ struct MeasureOptions {
   // (perturb.seed + rep) committed into its own result slot, so any jobs
   // value produces byte-identical MeasureResults (see docs/MODEL.md §8).
   int jobs = 0;
+  // Data plane for every repetition's machine. `timeonly` elides payload
+  // storage entirely (simulated times stay bit-identical); it conflicts
+  // with with_data and check, which is rejected up front.
+  sim::DataMode data_mode = sim::DataMode::payload;
+  // Event-queue choice, forwarded to every repetition's engine. `automatic`
+  // picks the calendar queue for time-only runs, the binary heap otherwise.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::automatic;
 };
 
 // Host-side performance counters for one measure_collective call, aggregated
@@ -56,6 +64,9 @@ struct MeasureOptions {
 struct MeasurePerf {
   std::uint64_t events = 0;            // engine events, summed over reps
   std::uint64_t peak_live_events = 0;  // event-heap high-water mark (max)
+  std::uint64_t peak_queue_depth = 0;  // whole-backlog high-water mark (max)
+  std::uint64_t peak_rss_kb = 0;       // process peak RSS in KB (host-side)
+  std::uint64_t elided_bytes = 0;      // payload bytes elided (time-only)
   double callback_pool_hit_rate = 0.0; // pooled event records served warm
   double payload_pool_hit_rate = 0.0;  // recycled message payload buffers
   double sim_ms = 0.0;                 // simulated time, summed over reps

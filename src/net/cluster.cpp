@@ -168,6 +168,14 @@ ClusterConfig with_rails(ClusterConfig cfg, int hcas) {
   return cfg;
 }
 
+ClusterConfig with_nodes(ClusterConfig cfg, int nodes) {
+  DPML_CHECK(nodes >= 1);
+  if (nodes <= cfg.total_nodes) return cfg;
+  cfg.total_nodes = nodes;
+  cfg.name += "@" + std::to_string(nodes);
+  return cfg;
+}
+
 ClusterConfig test_cluster(int total_nodes) {
   ClusterConfig c;
   c.name = "test";

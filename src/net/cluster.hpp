@@ -58,4 +58,10 @@ ClusterConfig test_cluster(int total_nodes = 8);
 // placement is HCA-aware.
 ClusterConfig with_rails(ClusterConfig cfg, int hcas);
 
+// Scaled-out variant: the same per-node/per-NIC model with at least `nodes`
+// nodes (a no-op when the preset is already big enough). Extrapolation for
+// fig10-style extreme-scale sweeps: the leaf shape and oversubscription stay
+// those of the preset, only the node count grows.
+ClusterConfig with_nodes(ClusterConfig cfg, int nodes);
+
 }  // namespace dpml::net

@@ -6,23 +6,139 @@
 #include "sim/sync.hpp"
 #include "util/error.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dpml::sim {
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::automatic: return "auto";
+    case SchedulerKind::binary_heap: return "binary-heap";
+    case SchedulerKind::calendar: return "calendar";
+  }
+  return "?";
+}
+
+SchedulerKind scheduler_kind_by_name(const std::string& name) {
+  if (name == "auto" || name == "automatic") return SchedulerKind::automatic;
+  if (name == "heap" || name == "binary-heap" || name == "binary_heap") {
+    return SchedulerKind::binary_heap;
+  }
+  if (name == "calendar") return SchedulerKind::calendar;
+  DPML_CHECK_MSG(false, "unknown scheduler '" + name +
+                            "'; valid names: auto, binary-heap, calendar");
+  return SchedulerKind::automatic;
+}
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on Darwin, kilobytes elsewhere.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
 
 void Engine::check_not_past(Time t) const {
   DPML_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
 }
 
 void Engine::push_event(Event ev) {
+  // Calendar staging: only the near future (t < front_limit_) enters the
+  // front heap; later events take an O(1) append into their year bucket or
+  // the overflow. Everything below front_limit_ is already in the front
+  // heap, so popping the front min is popping the global min.
+  if (sched_ == SchedulerKind::calendar && ev.t >= front_limit_) {
+    if (width_ > 0 &&
+        ev.t < year_start_ + static_cast<Time>(kNumBuckets) * width_) {
+      const auto idx = static_cast<std::size_t>((ev.t - year_start_) / width_);
+      buckets_[idx].push_back(ev);
+    } else {
+      overflow_.push_back(ev);
+    }
+    ++staged_;
+    note_queued();
+    return;
+  }
   heap_.push_back(ev);
   std::push_heap(heap_.begin(), heap_.end(), later);
-  if (heap_.size() > peak_live_events_) peak_live_events_ = heap_.size();
+  note_queued();
 }
 
 Engine::Event Engine::pop_event() {
+  if (heap_.empty()) refill_front();
   std::pop_heap(heap_.begin(), heap_.end(), later);
   Event ev = heap_.back();
   heap_.pop_back();
   return ev;
+}
+
+// Move staged events into the front heap until it is non-empty: drain year
+// buckets in order (each drained bucket advances front_limit_ past it), and
+// when the year is spent, rebuild it from the overflow. Preconditions:
+// heap_ empty, staged_ > 0.
+void Engine::refill_front() {
+  DPML_CHECK(staged_ > 0);
+  for (;;) {
+    if (width_ == 0) {
+      rebuild_year();
+      continue;
+    }
+    while (next_bucket_ < kNumBuckets && buckets_[next_bucket_].empty()) {
+      ++next_bucket_;
+    }
+    if (next_bucket_ == kNumBuckets) {
+      width_ = 0;  // year spent; everything staged is in overflow_
+      continue;
+    }
+    std::vector<Event>& b = buckets_[next_bucket_];
+    staged_ -= b.size();
+    heap_.swap(b);  // b keeps heap_'s (empty) storage; capacity recycles
+    std::make_heap(heap_.begin(), heap_.end(), later);
+    ++next_bucket_;
+    front_limit_ = year_start_ + static_cast<Time>(next_bucket_) * width_;
+    if (next_bucket_ == kNumBuckets) width_ = 0;
+    if (!heap_.empty()) return;
+  }
+}
+
+// Lay a new year over the overflow events: year_start_ at their minimum
+// time, bucket width the smallest power of two covering span/kNumBuckets.
+// Deterministic by construction — a pure function of queued event times.
+void Engine::rebuild_year() {
+  DPML_CHECK(!overflow_.empty());
+  Time lo = overflow_.front().t;
+  Time hi = lo;
+  for (const Event& ev : overflow_) {
+    if (ev.t < lo) lo = ev.t;
+    if (ev.t > hi) hi = ev.t;
+  }
+  year_start_ = lo;
+  const Time span = hi - lo + 1;
+  Time per_bucket = span / static_cast<Time>(kNumBuckets) + 1;
+  width_ = 1;
+  while (width_ < per_bucket) width_ <<= 1;
+  next_bucket_ = 0;
+  front_limit_ = year_start_;
+  const Time year_end = year_start_ + static_cast<Time>(kNumBuckets) * width_;
+  std::vector<Event> pending;
+  pending.swap(overflow_);
+  for (const Event& ev : pending) {
+    if (ev.t < year_end) {
+      buckets_[static_cast<std::size_t>((ev.t - year_start_) / width_)]
+          .push_back(ev);
+    } else {
+      overflow_.push_back(ev);
+    }
+  }
 }
 
 void Engine::schedule_fn(Time t, std::function<void()> fn) {
@@ -56,7 +172,7 @@ void Engine::record_error(std::exception_ptr e) {
 }
 
 void Engine::run() {
-  while (!heap_.empty()) {
+  while (!queue_empty()) {
     Event ev = pop_event();
     DPML_CHECK(ev.t >= now_);
     now_ = ev.t;

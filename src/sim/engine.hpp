@@ -9,16 +9,35 @@
 // Hot path: an event is either a coroutine resume (a bare handle, no
 // allocation) or a callback. Callbacks are type-erased records placed in a
 // per-engine slab pool (sim/pool.hpp), so steady-state scheduling allocates
-// nothing once the pool is warm; the event heap itself is an open-coded
-// binary heap over a reserved vector. schedule_fn() survives only as a
+// nothing once the pool is warm. schedule_fn() survives only as a
 // compatibility shim over schedule_call() — in-tree code must use the
 // pooled form (enforced by the dpmllint `schedule-fn` rule).
+//
+// Two schedulers sit behind SchedulerKind, both draining events in exactly
+// the same strict (t, seq) total order — the choice can never change
+// simulated results, only host throughput:
+//
+//   binary_heap  the classic open-coded binary heap over one reserved,
+//                flat Event vector.
+//   calendar     a calendar-queue hybrid for extreme-scale runs: a small
+//                "front" binary heap serves the near future, a year of
+//                fixed-width buckets (flat Event vectors whose capacity is
+//                recycled across years, same cache-friendly layout) stages
+//                the mid future with O(1) inserts, and an overflow vector
+//                absorbs everything beyond the year. When the front drains,
+//                the next non-empty bucket is heapified into it wholesale —
+//                so same-instant bursts (a 100k-rank barrier release) cost
+//                one O(n) heapify instead of degenerate bucket scans, and
+//                strict (t, seq) order is preserved by the front heap's
+//                comparator.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -31,31 +50,65 @@ namespace dpml::sim {
 
 class Flag;
 
+// Event-queue implementation choice. `automatic` is resolved by the layer
+// that knows the run's data mode (sim::resolve_scheduler in dataplane.hpp);
+// an Engine constructed with `automatic` directly uses the binary heap.
+enum class SchedulerKind {
+  automatic,
+  binary_heap,
+  calendar,
+};
+
+const char* scheduler_kind_name(SchedulerKind kind);
+// Throws util::InvariantError listing the valid names. Accepts "auto",
+// "heap"/"binary-heap"/"binary_heap", and "calendar".
+SchedulerKind scheduler_kind_by_name(const std::string& name);
+
+// Peak resident set size of this process in KB (getrusage; 0 where
+// unsupported). Host-side only, like the wall-clock perf fields.
+std::uint64_t peak_rss_kb();
+
 // Host-side performance counters for one engine run (events/sec and the
 // wall-clock fields are computed by the callers that own wall timing; the
 // engine itself never reads a wall clock).
 struct EnginePerf {
   std::uint64_t events = 0;           // events processed
-  std::uint64_t peak_live_events = 0; // high-water mark of the event heap
+  std::uint64_t peak_live_events = 0; // high-water mark of the front heap
+  // High-water mark of the whole event backlog: front heap plus calendar
+  // buckets plus overflow. Equal to peak_live_events under the binary heap.
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t peak_rss_kb = 0;      // process peak RSS (host-side, KB)
   PoolStats callback_pool;            // pooled callback records
   PoolStats payload_pool;             // recycled payload buffers
 };
 
 class Engine {
  public:
-  Engine() { heap_.reserve(kInitialHeapReserve); }
+  explicit Engine(SchedulerKind sched = SchedulerKind::binary_heap)
+      : sched_(sched == SchedulerKind::calendar ? SchedulerKind::calendar
+                                                : SchedulerKind::binary_heap) {
+    heap_.reserve(kInitialHeapReserve);
+    if (sched_ == SchedulerKind::calendar) buckets_.resize(kNumBuckets);
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine() {
     // Drop callback records still queued (a run abandoned by an error or a
-    // machine torn down mid-simulation) without invoking them.
-    for (Event& ev : heap_) {
-      if (ev.cb != nullptr) destroy_callback(ev.cb);
-    }
-    heap_.clear();
+    // machine torn down mid-simulation) without invoking them, wherever
+    // they are staged.
+    auto drop = [this](std::vector<Event>& evs) {
+      for (Event& ev : evs) {
+        if (ev.cb != nullptr) destroy_callback(ev.cb);
+      }
+      evs.clear();
+    };
+    drop(heap_);
+    for (auto& b : buckets_) drop(b);
+    drop(overflow_);
   }
 
   Time now() const { return now_; }
+  SchedulerKind scheduler() const { return sched_; }
 
   // Schedule a coroutine resume / callback at absolute time `t` (>= now).
   void schedule_at(Time t, std::coroutine_handle<> h) {
@@ -99,13 +152,15 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
   int live_tasks() const { return live_tasks_; }
 
-  // Pre-size the event heap (e.g. for the expected number of concurrently
-  // scheduled rank events) so early growth does not reallocate mid-run.
+  // Pre-size the front event heap (e.g. for the expected number of
+  // concurrently scheduled rank events) so early growth does not reallocate
+  // mid-run.
   void reserve_events(std::size_t n) {
     if (n > heap_.capacity()) heap_.reserve(n);
   }
 
-  // Recycled payload buffers for the transport (see sim/pool.hpp).
+  // Recycled payload buffers for the payload data plane (see sim/pool.hpp;
+  // access outside the plane is flagged by dpmllint's payload-plane rule).
   BufferPool& payload_pool() { return payload_pool_; }
 
   // Counters for perf reporting (dpmlsim --perf, MeasureResult::perf).
@@ -113,6 +168,8 @@ class Engine {
     EnginePerf p;
     p.events = events_processed_;
     p.peak_live_events = peak_live_events_;
+    p.peak_queue_depth = peak_queue_depth_;
+    p.peak_rss_kb = sim::peak_rss_kb();
     p.callback_pool = callback_pool_.stats();
     p.payload_pool = payload_pool_.stats();
     return p;
@@ -132,6 +189,9 @@ class Engine {
 
  private:
   static constexpr std::size_t kInitialHeapReserve = 1024;
+  // One calendar year: enough buckets that a year rebuild is rare, few
+  // enough that scanning for the next non-empty bucket is trivial.
+  static constexpr std::size_t kNumBuckets = 256;
   // Chunk size covering every in-tree schedule_call capture (the largest is
   // the transport's routed-delivery lambda: this + a handful of ints/Times +
   // a moved std::function continuation). Larger captures fall back to
@@ -166,7 +226,9 @@ class Engine {
 
   void destroy_callback(CallbackBase* cb) { cb->dispose(cb, *this); }
 
-  // Small-footprint event record: trivially movable, no allocation.
+  // Small-footprint event record: trivially movable, no allocation, stored
+  // flat in reserved vectors (front heap, calendar buckets, overflow) so
+  // scheduler traversals stay cache-friendly.
   struct Event {
     Time t;
     std::uint64_t seq;
@@ -182,6 +244,18 @@ class Engine {
   void check_not_past(Time t) const;
   void push_event(Event ev);
   Event pop_event();
+  bool queue_empty() const { return heap_.empty() && staged_ == 0; }
+
+  // Calendar internals (engine.cpp): refill the front heap from the next
+  // non-empty bucket, rebuilding the year from overflow when it is spent.
+  void refill_front();
+  void rebuild_year();
+  void note_queued() {
+    const std::uint64_t depth =
+        static_cast<std::uint64_t>(heap_.size()) + staged_;
+    if (heap_.size() > peak_live_events_) peak_live_events_ = heap_.size();
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
+  }
 
   // Detached wrapper coroutine: owns the task, maintains the live count,
   // captures exceptions, posts the optional completion flag.
@@ -196,11 +270,27 @@ class Engine {
   };
   Detached run_detached(CoTask<void> task, std::shared_ptr<Flag> done);
 
+  SchedulerKind sched_;
+  // Front heap: the only stage events are popped from. Under the binary
+  // heap scheduler it is the whole queue.
   std::vector<Event> heap_;
+  // Calendar stages (empty under the binary heap scheduler). Invariants:
+  // heap_ holds every queued event with t < front_limit_; bucket i holds
+  // events with t in [year_start_ + i*width_, year_start_ + (i+1)*width_)
+  // for i >= next_bucket_; overflow_ holds events at or beyond the year end
+  // (and everything, initially, until the first year is built).
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> overflow_;
+  Time year_start_ = 0;
+  Time width_ = 0;  // 0: no active year
+  Time front_limit_ = std::numeric_limits<Time>::min();
+  std::size_t next_bucket_ = 0;
+  std::uint64_t staged_ = 0;  // events in buckets_ + overflow_
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t peak_live_events_ = 0;
+  std::uint64_t peak_queue_depth_ = 0;
   int live_tasks_ = 0;
   std::exception_ptr error_{};
   SlabPool callback_pool_{kCallbackChunk};

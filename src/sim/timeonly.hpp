@@ -1,0 +1,63 @@
+// Time-only data plane: payload-free extreme-scale simulation.
+//
+// Following the SMPI/SimGrid approach, a time-only run simulates every
+// communication and synchronization event while eliding the data they move:
+// messages carry only their MsgMeta (size, dtype, op-cost) record and the
+// plane keeps one compact POD counter block per rank instead of live payload
+// buffers. Because every charge in the transport is computed from metadata,
+// simulated latencies are bit-identical to the payload plane for any
+// algorithm that does not inspect payload bytes (CollCaps::needs_payload);
+// tests/timeonly_test.cpp locks that parity for the whole registry.
+//
+// What is refused, up front and by construction:
+//   * payload buffers (RunOptions::with_data) — there is nothing to verify
+//   * simcheck (RunOptions::check_level)      — leases need real spans
+//   * needs_payload algorithms                — rejected at dispatch
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dataplane.hpp"
+
+namespace dpml::sim {
+
+// Per-rank state of a time-only run. POD on purpose: 32 bytes per rank is
+// the entire per-rank footprint the plane adds, which is what lets 100k+
+// rank sweeps fit where live payload buffers would not.
+struct TimeOnlyRankState {
+  std::uint64_t messages = 0;      // messages captured from this rank
+  std::uint64_t bytes = 0;         // payload bytes elided
+  std::uint64_t op_cost_total = 0; // summed per-message op-cost metadata (ps)
+  std::uint64_t reserved = 0;      // keeps the record a 32-byte POD
+};
+
+class TimeOnlyPlane final : public DataPlane {
+ public:
+  explicit TimeOnlyPlane(int world_size);
+
+  DataMode mode() const noexcept override { return DataMode::timeonly; }
+
+  // Records `meta` into the sender's POD state and returns an empty payload.
+  // Throws util::InvariantError if a payload byte reaches the plane.
+  std::vector<std::byte> capture(const MsgMeta& meta, const std::byte* data,
+                                 std::size_t size) override;
+
+  // Nothing to recycle: a non-empty payload here is an invariant violation.
+  void reclaim(std::vector<std::byte> payload) override;
+
+  BufferPool* recycler() noexcept override { return nullptr; }
+
+  std::uint64_t elided_bytes() const noexcept override { return total_bytes_; }
+  std::uint64_t elided_messages() const noexcept { return total_messages_; }
+
+  const TimeOnlyRankState& rank_state(int world_rank) const;
+  int world_size() const noexcept { return static_cast<int>(ranks_.size()); }
+
+ private:
+  std::vector<TimeOnlyRankState> ranks_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dpml::sim

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "sim/timeonly.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -14,15 +15,6 @@ using sim::Time;
 using sim::transfer_time;
 
 namespace {
-
-// Owned copy of an in-flight payload, drawn from the engine's buffer pool
-// so steady-state messaging recycles storage instead of allocating.
-std::vector<std::byte> own_copy(sim::Engine& engine, ConstBytes data) {
-  if (data.empty()) return {};
-  std::vector<std::byte> buf = engine.payload_pool().acquire(data.size());
-  std::memcpy(buf.data(), data.data(), data.size());
-  return buf;
-}
 
 int ceil_div(int a, int b) { return (a + b - 1) / b; }
 
@@ -64,7 +56,7 @@ Rank::Rank(Machine& m, int world_rank)
   node_id_ = world_rank / m.ppn();
   local_rank_ = world_rank % m.ppn();
   socket_ = m.socket_of_local(local_rank_);
-  matcher_.set_recycler(&m.engine().payload_pool());
+  matcher_.set_recycler(m.data_plane().recycler());
 }
 
 sim::Engine& Rank::engine() { return machine_->engine(); }
@@ -209,6 +201,7 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
       opt_(opt),
       nodes_used_(nodes),
       ppn_(ppn),
+      engine_(sim::resolve_scheduler(opt.scheduler, opt.data_mode)),
       topo_(nodes, cfg_.nodes_per_leaf) {
   DPML_CHECK_MSG(nodes >= 1, "need at least one node");
   DPML_CHECK_MSG(nodes <= cfg_.total_nodes,
@@ -216,6 +209,24 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
                      std::to_string(cfg_.total_nodes) + " nodes");
   DPML_CHECK_MSG(ppn >= 1 && ppn <= cfg_.max_ppn(),
                  "ppn out of range for cluster '" + cfg_.name + "'");
+  if (opt_.data_mode == sim::DataMode::timeonly) {
+    DPML_CHECK_MSG(!opt_.with_data,
+                   "time-only runs cannot carry payload data: "
+                   "RunOptions::with_data conflicts with "
+                   "data_mode=timeonly; clear with_data (there are no "
+                   "buffers to fill) or run data_mode=payload");
+    DPML_CHECK_MSG(opt_.check_level == check::CheckLevel::off,
+                   "time-only runs cannot be verified: "
+                   "RunOptions::check_level=" +
+                       std::string(check::check_level_name(opt_.check_level)) +
+                       " conflicts with data_mode=timeonly (simcheck leases "
+                       "need real payload spans); set check_level=off or run "
+                       "data_mode=payload");
+    data_plane_ =
+        std::make_unique<sim::TimeOnlyPlane>(nodes * ppn);
+  } else {
+    data_plane_ = std::make_unique<sim::PayloadPlane>(engine_);
+  }
   // Enforce the preset's declared fabric shape up front: deriving the link
   // plan validates nodes_per_leaf and oversubscription for every cluster,
   // whether or not the flow-level model is enabled for this run.
@@ -550,6 +561,19 @@ void Machine::run(const std::function<sim::CoTask<void>(Rank&)>& main) {
 // ---------------------------------------------------------------------------
 // Transport
 
+std::vector<std::byte> Machine::capture_payload(int src_world,
+                                                std::size_t bytes, int dtype,
+                                                sim::Time op_cost,
+                                                ConstBytes data) {
+  sim::MsgMeta meta;
+  meta.src = src_world;
+  meta.bytes = bytes;
+  meta.dtype = dtype;
+  meta.op_cost = op_cost;
+  return data_plane_->capture(meta, data.empty() ? nullptr : data.data(),
+                              data.size());
+}
+
 namespace {
 // Shared state between the rendezvous sender continuation and the match-time
 // callback running on the receiver side.
@@ -618,7 +642,8 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.src = src_world;
     env.tag = tag;
     env.bytes = bytes;
-    env.data = own_copy(engine_, data);
+    env.data = capture_payload(src_world, bytes, send_dtype,
+                               host.flag_latency, data);
     env.recv_cost = host.flag_latency;
     env.dtype = send_dtype;
     deliver_at(done + host.flag_latency, std::move(env));
@@ -665,7 +690,7 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     env.src = src_world;
     env.tag = tag;
     env.bytes = bytes;
-    env.data = own_copy(engine_, data);
+    env.data = capture_payload(src_world, bytes, send_dtype, nic.o_recv, data);
     env.recv_cost = nic.o_recv;
     env.dtype = send_dtype;
     if (fabric_ != nullptr) {
@@ -737,15 +762,17 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
   double lbw;
   Time extra;
   link_mods(lbw, extra);
-  auto deliver_payload = [this, state,
-                          payload = own_copy(engine_, data)](Time rx_done) mutable {
+  auto deliver_payload =
+      [this, state,
+       payload = capture_payload(src_world, bytes, send_dtype, nic.o_recv,
+                                 data)](Time rx_done) mutable {
     engine_.schedule_call(rx_done, [this, state,
                                     payload = std::move(payload)]() mutable {
       PostedRecv& pr = *state->pr;
       if (!pr.truncated && !payload.empty() && !pr.out.empty()) {
         std::memcpy(pr.out.data(), payload.data(), payload.size());
       }
-      engine_.payload_pool().release(std::move(payload));
+      data_plane_->reclaim(std::move(payload));
       pr.done->post();
     });
   };

@@ -23,6 +23,7 @@
 #include "net/cluster.hpp"
 #include "net/topology.hpp"
 #include "perturb/perturb.hpp"
+#include "sim/dataplane.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
@@ -55,6 +56,14 @@ struct RunOptions {
   // payload through the flow-level max-min fair link model, enforcing the
   // cluster's nodes_per_leaf/oversubscription capacities.
   fabric::FabricLevel fabric_level = fabric::FabricLevel::none;
+  // Data plane (sim/dataplane.hpp). `payload` owns real in-flight buffers;
+  // `timeonly` elides them entirely — simulated time is bit-identical, but
+  // with_data and check_level are rejected up front (nothing to verify).
+  sim::DataMode data_mode = sim::DataMode::payload;
+  // Event-queue implementation. `automatic` resolves to the calendar queue
+  // for time-only runs and the binary heap otherwise; either choice drains
+  // events in the same strict order, so results never depend on it.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::automatic;
 };
 
 struct RecvResult {
@@ -215,6 +224,9 @@ class Machine {
   const net::FabricTopology& topology() const { return topo_; }
   const RunOptions& options() const { return opt_; }
   bool with_data() const { return opt_.with_data; }
+  sim::DataMode data_mode() const { return opt_.data_mode; }
+  // The plane owning in-flight payload storage (never null).
+  sim::DataPlane& data_plane() { return *data_plane_; }
 
   int num_nodes() const { return nodes_used_; }
   int ppn() const { return ppn_; }
@@ -336,6 +348,7 @@ class Machine {
   int nodes_used_;
   int ppn_;
   sim::Engine engine_;
+  std::unique_ptr<sim::DataPlane> data_plane_;
   net::FabricTopology topo_;
   std::deque<Node> nodes_;
   std::deque<Rank> ranks_;
@@ -375,6 +388,13 @@ class Machine {
   void fabric_send(int src_node, int src_hca, int dst_node, int dst_hca,
                    sim::Time t0, std::size_t bytes, sim::Time extra_latency,
                    std::function<void(sim::Time)> complete);
+
+  // Hand an outgoing payload to the data plane: the payload plane copies it
+  // into a pooled buffer, the time-only plane records the MsgMeta and
+  // returns an empty vector.
+  std::vector<std::byte> capture_payload(int src_world, std::size_t bytes,
+                                         int dtype, sim::Time op_cost,
+                                         ConstBytes data);
 
   // Transport implementation (machine.cpp).
   sim::CoTask<void> do_send(Rank& sender, int dst_world, int ctx, int tag,

@@ -175,6 +175,40 @@ TEST(LintScheduleFn, SuppressibleLikeEveryRule) {
 }
 
 // ---------------------------------------------------------------------------
+// payload-plane
+
+TEST(LintPayloadPlane, DirectPoolCallFiresOutsideThePlane) {
+  const auto fs =
+      lint("void f(Engine& e) { e.payload_pool().acquire(64); }\n");
+  ASSERT_EQ(count_rule(fs, "payload-plane"), 1);
+  EXPECT_EQ(fs[0].line, 1);
+  // A local merely *named* payload_pool is not a call into the engine.
+  EXPECT_TRUE(lint("BufferPool payload_pool;\npayload_pool.merge(o);\n")
+                  .empty());
+  EXPECT_TRUE(lint("auto r = p.payload_pool_hit_rate;\n").empty());
+}
+
+TEST(LintPayloadPlane, EnginePoolAndPlaneFilesAreTheSanctionedHomes) {
+  const std::string src = "BufferPool& Engine::payload_pool() { return p_; }\n";
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.hpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.cpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/pool.hpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/dataplane.hpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/timeonly.cpp", src).empty());
+  // "sim/" alone is not enough: simmpi transport code must go through the
+  // DataPlane seam.
+  EXPECT_EQ(
+      count_rule(dpml::lint::lint_source("src/simmpi/machine.cpp", src),
+                 "payload-plane"),
+      1);
+}
+
+TEST(LintPayloadPlane, SuppressibleLikeEveryRule) {
+  EXPECT_TRUE(
+      lint("e.payload_pool();  // dpmllint: allow(payload-plane)\n").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 
 TEST(LintSuppress, SameLinePrevLineAndFileWide) {
@@ -244,6 +278,13 @@ TEST(LintFixtures, ScheduleFnShimCaught) {
       dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/schedule_fn.cc");
   EXPECT_EQ(count_rule(fs, "schedule-fn"), 2);  // declaration + call site
   for (const Finding& f : fs) EXPECT_EQ(f.rule, "schedule-fn");
+}
+
+TEST(LintFixtures, PayloadPlaneCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/payload_plane.cc");
+  EXPECT_EQ(count_rule(fs, "payload-plane"), 3);  // declaration + 2 calls
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "payload-plane");
 }
 
 TEST(LintFixtures, SuppressedFixtureIsClean) {

@@ -542,6 +542,41 @@ void scan_schedule_fn(const std::string& file, const std::string& masked,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: payload-plane
+// ---------------------------------------------------------------------------
+
+// Payload buffers are owned by the data plane (sim/dataplane.hpp): transport
+// and algorithm code must route captures/releases through DataPlane so the
+// time-only plane can elide them. A direct Engine::payload_pool() call
+// outside the plane implementations bypasses that seam and would silently
+// reintroduce per-message payload storage on time-only runs. The engine/pool
+// internals and the plane implementations themselves are the sanctioned
+// homes for the call.
+void scan_payload_plane(const std::string& file, const std::string& masked,
+                        const std::vector<std::size_t>& starts,
+                        std::vector<Finding>& out) {
+  for (const char* home : {"sim/engine.", "sim/pool.", "sim/dataplane.",
+                           "sim/timeonly."}) {
+    if (file.find(home) != std::string::npos) return;
+  }
+  std::size_t pos = 0;
+  while ((pos = find_token(masked, "payload_pool", pos)) !=
+         std::string::npos) {
+    const std::size_t after =
+        skip_ws(masked, pos + std::string("payload_pool").size());
+    if (after < masked.size() && masked[after] == '(') {
+      out.push_back(
+          {file, line_of(starts, pos), "payload-plane",
+           "direct Engine::payload_pool() access outside the data plane; "
+           "route payload capture/release through sim::DataPlane "
+           "(Machine::capture_payload / DataPlane::reclaim) so time-only "
+           "runs stay payload-free"});
+    }
+    pos += std::string("payload_pool").size();
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& file,
@@ -556,6 +591,7 @@ std::vector<Finding> lint_source(const std::string& file,
   scan_coro_ref_capture(file, masked, starts, found);
   scan_await_temporary(file, masked, starts, found);
   scan_schedule_fn(file, masked, starts, found);
+  scan_payload_plane(file, masked, starts, found);
 
   std::vector<Finding> kept;
   for (Finding& f : found) {

@@ -37,7 +37,9 @@
 #include "model/fit.hpp"
 #include "perturb/spec.hpp"
 #include "net/cluster.hpp"
+#include "sim/dataplane.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -85,9 +87,18 @@ int usage() {
       "                repetitions/points across N host threads; results\n"
       "                are byte-identical to --jobs 1. Default: DPML_JOBS\n"
       "                or 1. See docs/MODEL.md §8)\n"
+      "              --time-only  (payload-free data plane: messages carry\n"
+      "                only size/dtype/op-cost metadata, per-rank state is a\n"
+      "                compact POD record. Simulated times are bit-identical\n"
+      "                to payload mode; --data and --check are rejected.\n"
+      "                Scales to 100k+ ranks. See docs/MODEL.md §10)\n"
+      "              --scheduler auto|binary-heap|calendar  (event-queue\n"
+      "                implementation; auto picks calendar for --time-only.\n"
+      "                Either drains events in the same order, so results\n"
+      "                never depend on this flag)\n"
       "              --perf  (print host-side perf counters per point:\n"
-      "                simulated events/sec, peak live events, pool hit\n"
-      "                rates, wall-ms per simulated-ms)\n"
+      "                simulated events/sec, peak live events, queue depth,\n"
+      "                peak RSS, pool hit rates, wall-ms per simulated-ms)\n"
       "              --perf-json FILE  (write the sweep's aggregate perf\n"
       "                counters as JSON, for trajectory diffs against the\n"
       "                checked-in BENCH_perf.json snapshot)\n"
@@ -117,6 +128,7 @@ int cmd_list_algorithms() {
       if (d->caps.supports_pipelining) flag("pipelining");
       if (d->caps.world_only) flag("world-only");
       if (d->caps.tunable) flag("tunable");
+      if (d->caps.needs_payload) flag("needs-payload");
       if (d->caps.min_comm_size > 1) {
         flag(("min-comm=" + std::to_string(d->caps.min_comm_size)).c_str());
       }
@@ -168,14 +180,21 @@ int cmd_list_clusters() {
 struct PerfAgg {
   std::uint64_t events = 0;
   std::uint64_t peak_live = 0;
+  std::uint64_t peak_queue = 0;
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t elided_bytes = 0;
   double wall_ms = 0.0;
   double cb_hits = 0.0;
   double pl_hits = 0.0;
   int rows = 0;
+  std::string data_mode = "payload";
 
   void add(const core::MeasureResult& r) {
     events += r.perf.events;
     peak_live = std::max(peak_live, r.perf.peak_live_events);
+    peak_queue = std::max(peak_queue, r.perf.peak_queue_depth);
+    peak_rss_kb = std::max(peak_rss_kb, r.perf.peak_rss_kb);
+    elided_bytes += r.perf.elided_bytes;
     wall_ms += r.perf.wall_ms;
     cb_hits += r.perf.callback_pool_hit_rate;
     pl_hits += r.perf.payload_pool_hit_rate;
@@ -196,12 +215,16 @@ struct PerfAgg {
     if (!os) return false;
     os << "{\n"
        << "  \"tool\": \"" << tool << "\",\n"
+       << "  \"data_mode\": \"" << data_mode << "\",\n"
        << "  \"points\": " << rows << ",\n"
        << "  \"jobs\": " << core::default_jobs() << ",\n"
        << "  \"events\": " << events << ",\n"
        << "  \"events_per_sec\": " << static_cast<long long>(events_per_sec())
        << ",\n"
        << "  \"peak_live_events\": " << peak_live << ",\n"
+       << "  \"peak_queue_depth\": " << peak_queue << ",\n"
+       << "  \"peak_rss_kb\": " << peak_rss_kb << ",\n"
+       << "  \"elided_bytes\": " << elided_bytes << ",\n"
        << "  \"callback_pool_hit_rate\": " << cb_hit_rate() << ",\n"
        << "  \"payload_pool_hit_rate\": " << pl_hit_rate() << ",\n"
        << "  \"wall_ms\": " << wall_ms << "\n"
@@ -232,6 +255,25 @@ core::MeasureOptions measure_opts(const util::Args& args) {
     opt.fabric = (level.empty() || level == "true")
                      ? fabric::FabricLevel::links
                      : fabric::fabric_level_by_name(level);
+  }
+  if (args.get_bool("time-only", false)) {
+    // Conflicts fail here with the offending flags and the remedy spelled
+    // out, before any machine is built.
+    DPML_CHECK_MSG(!opt.with_data,
+                   "incompatible flags: --time-only --data. The time-only "
+                   "data plane elides payload bytes, so there are no buffers "
+                   "to fill or verify; drop --data (simulated times are "
+                   "bit-identical) or drop --time-only");
+    DPML_CHECK_MSG(opt.check == check::CheckLevel::off,
+                   "incompatible flags: --time-only --check " +
+                       std::string(check::check_level_name(opt.check)) +
+                       ". simcheck verification needs real payload spans; "
+                       "drop --check (simulated times are bit-identical) or "
+                       "drop --time-only");
+    opt.data_mode = sim::DataMode::timeonly;
+  }
+  if (args.has("scheduler")) {
+    opt.scheduler = sim::scheduler_kind_by_name(args.get("scheduler", "auto"));
   }
   return opt;
 }
@@ -280,6 +322,7 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
   // Host-side perf aggregates across the whole size sweep (--perf and/or
   // --perf-json).
   PerfAgg agg;
+  agg.data_mode = sim::data_mode_name(opt.data_mode);
   for (std::size_t bytes : sizes) {
     const core::CollSpec used = table ? table->select(kind, bytes) : spec;
     const auto r =
@@ -317,8 +360,14 @@ int cmd_latency(const util::Args& args, const net::ClusterConfig& cfg,
     std::cout << "\n[perf] jobs=" << core::default_jobs() << ", " << agg.events
               << " simulated events in " << agg.wall_ms << " ms wall ("
               << agg.events_per_sec() / 1e6 << " Mev/s), peak live events "
-              << agg.peak_live << ", pool hit rates cb=" << agg.cb_hit_rate()
-              << " payload=" << agg.pl_hit_rate() << "\n";
+              << agg.peak_live << ", peak queue depth " << agg.peak_queue
+              << ", peak RSS " << agg.peak_rss_kb << " KB, pool hit rates cb="
+              << agg.cb_hit_rate() << " payload=" << agg.pl_hit_rate();
+    if (agg.elided_bytes > 0) {
+      std::cout << ", elided " << util::format_bytes(agg.elided_bytes)
+                << " of payload";
+    }
+    std::cout << "\n";
   }
   if (!perf_json.empty()) {
     if (!agg.write_json(perf_json, "dpmlsim latency")) {
@@ -596,6 +645,14 @@ int main(int argc, char** argv) {
     const int rails = static_cast<int>(args.get_int("rails", 1));
     if (rails > 1) cfg = net::with_rails(cfg, rails);
     const int nodes = static_cast<int>(args.get_int("nodes", 8));
+    if (nodes > cfg.total_nodes) {
+      // Extrapolated sweep: grow the preset to the requested node count
+      // rather than failing (fig10-style extreme-scale curves).
+      std::cerr << "note: cluster " << cfg.name << " has " << cfg.total_nodes
+                << " nodes; extrapolating its node/NIC model to " << nodes
+                << "\n";
+      cfg = net::with_nodes(std::move(cfg), nodes);
+    }
     const int ppn = static_cast<int>(args.get_int("ppn", cfg.max_ppn()));
     if (cmd == "latency") return cmd_latency(args, cfg, nodes, ppn);
     if (cmd == "sweep") return cmd_sweep(args, cfg, nodes, ppn);
