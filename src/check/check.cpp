@@ -119,9 +119,57 @@ std::size_t first_mismatch(const std::vector<std::byte>& a,
 
 }  // namespace
 
-CheckError::CheckError(std::string report, std::vector<Violation> violations)
+CheckError::CheckError(std::string report, std::vector<Violation> violations,
+                       std::string deadlock_json)
     : std::runtime_error(std::move(report)),
-      violations_(std::move(violations)) {}
+      violations_(std::move(violations)),
+      deadlock_json_(std::move(deadlock_json)) {}
+
+std::string deadlock_report_json(const std::vector<BlockedEdge>& edges) {
+  std::ostringstream os;
+  os << "{\"blocked\": [";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const BlockedEdge& e = edges[i];
+    if (i > 0) os << ", ";
+    os << "{\"rank\": " << e.rank << ", \"ctx\": " << e.ctx
+       << ", \"src\": " << e.src << ", \"tag\": " << e.tag
+       << ", \"capacity\": " << e.capacity << "}";
+  }
+  os << "], \"cycle\": [";
+  // Follow the rank -> awaited-rank chain (each blocked rank's first
+  // concrete-source edge). A wildcard source (-1) ends the chain: that rank
+  // could be satisfied by anyone, so it anchors no cycle edge.
+  std::map<int, int> waits_on;
+  for (const BlockedEdge& e : edges) {
+    if (e.src >= 0 && waits_on.find(e.rank) == waits_on.end()) {
+      waits_on.emplace(e.rank, e.src);
+    }
+  }
+  std::vector<int> cycle;
+  for (const auto& [start, first] : waits_on) {
+    (void)first;
+    std::vector<int> path;
+    std::map<int, std::size_t> pos;
+    int cur = start;
+    while (waits_on.find(cur) != waits_on.end() &&
+           pos.find(cur) == pos.end()) {
+      pos.emplace(cur, path.size());
+      path.push_back(cur);
+      cur = waits_on.at(cur);
+    }
+    if (pos.find(cur) != pos.end()) {
+      cycle.assign(path.begin() + static_cast<std::ptrdiff_t>(pos.at(cur)),
+                   path.end());
+      break;  // waits_on is sorted: the first cycle found is canonical
+    }
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << cycle[i];
+  }
+  os << "]}";
+  return os.str();
+}
 
 BufferLease& BufferLease::operator=(BufferLease&& o) noexcept {
   if (this != &o) {
@@ -526,6 +574,8 @@ void Checker::note_endpoint_state(int rank, const simmpi::Matcher& matcher) {
             " bytes): the send was never matched by a receive"});
   }
   for (const simmpi::PostedRecv* pr : matcher.posted()) {
+    blocked_edges_.push_back(
+        BlockedEdge{rank, pr->ctx, pr->src, pr->tag, pr->capacity});
     deferred_.push_back(Violation{
         "blocked-recv", rank, "",
         "is blocked on a posted receive (ctx=" + std::to_string(pr->ctx) +
@@ -584,18 +634,20 @@ void Checker::finalize(bool deadlocked, const std::string& deadlock_what,
             " tracer span(s) were begun but never ended; every "
             "Tracer::begin needs a matching Tracer::end"});
   }
+  std::string dl_json;
   if (deadlocked) {
+    dl_json = deadlock_report_json(blocked_edges_);
     deferred_.push_back(Violation{
         "wait-cycle-deadlock", -1, "",
         deadlock_what +
             " — the blocked-request report above lists what each rank was "
-            "waiting for"});
+            "waiting for; structured wait-cycle: " + dl_json});
   }
   if (deferred_.empty()) return;
   std::vector<Violation> vs = std::move(deferred_);
   deferred_.clear();
   std::string report = build_report(vs);  // before the move, see fail()
-  throw CheckError(std::move(report), std::move(vs));
+  throw CheckError(std::move(report), std::move(vs), std::move(dl_json));
 }
 
 }  // namespace dpml::check

@@ -66,14 +66,36 @@ struct Violation {
   std::string format() const;
 };
 
+// One blocked endpoint in a deadlock: world rank `rank` is stuck on a
+// posted receive for (ctx, src, tag). src/tag are -1 for wildcards.
+struct BlockedEdge {
+  int rank = -1;
+  int ctx = 0;
+  int src = -1;
+  int tag = -1;
+  std::size_t capacity = 0;
+};
+
+// Structured deadlock report: {"blocked": [edge...], "cycle": [rank...]}.
+// The cycle is the rank -> awaited-rank chain the blocked edges form
+// (empty when acyclic, e.g. a rank waiting on a message nobody sends).
+// One format shared by --check deadlock reports and dpmlmc counterexample
+// traces (docs/CHECKING.md).
+std::string deadlock_report_json(const std::vector<BlockedEdge>& edges);
+
 class CheckError : public std::runtime_error {
  public:
-  CheckError(std::string report, std::vector<Violation> violations);
+  CheckError(std::string report, std::vector<Violation> violations,
+             std::string deadlock_json = "");
 
   const std::vector<Violation>& violations() const { return violations_; }
+  // Structured wait-cycle JSON (deadlock_report_json) when this error
+  // reports a deadlock; empty otherwise.
+  const std::string& deadlock_json() const { return deadlock_json_; }
 
  private:
   std::vector<Violation> violations_;
+  std::string deadlock_json_;
 };
 
 // RAII registration of a live communication buffer (the span a send is
@@ -157,6 +179,11 @@ class Checker {
   void finalize(bool deadlocked, const std::string& deadlock_what,
                 std::size_t live_slots, std::size_t open_trace_spans);
 
+  // Blocked receives recorded by note_endpoint_state (deadlock reports).
+  const std::vector<BlockedEdge>& blocked_edges() const {
+    return blocked_edges_;
+  }
+
   // Immediately fail the run with one violation (fail-fast path).
   [[noreturn]] void fail(Violation v) const;
 
@@ -215,6 +242,7 @@ class Checker {
   std::map<std::pair<int, int>, std::uint64_t> enter_seq_;  // (ctx, rank)
   std::map<std::pair<int, std::uint64_t>, CollRecord> records_;
   std::vector<Violation> deferred_;  // finalize-time accumulation
+  std::vector<BlockedEdge> blocked_edges_;
 };
 
 }  // namespace dpml::check

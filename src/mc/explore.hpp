@@ -1,0 +1,72 @@
+// Replay-based schedule explorer over the deterministic engine.
+//
+// State-space model: a schedule is the vector of decisions taken at the
+// oracle's choice points (sim/oracle.hpp) — same-instant message-delivery
+// pops and MPI_ANY_SOURCE unexpected-queue matches. The engine is
+// deterministic between choice points, so a schedule is replayed exactly by
+// re-running the collective with the recorded prefix; the explorer never
+// snapshots simulator state (SimGrid-MC style stateless search).
+//
+// Independence relation (pruned, counted in McStats::pruned):
+//   - deliveries into distinct (rank, ctx) channels commute — they touch
+//     disjoint Matcher queues;
+//   - same-source deliveries into one channel are FIFO — never
+//     alternatives;
+//   - delivery order into a channel that never posts a wildcard receive is
+//     unobservable (matching is then deterministic per source).
+// The wildcard-channel set is collected on a canonical pre-pass and frozen,
+// so every schedule sees identical choice points and recorded prefixes
+// align (the freeze is conservative: a schedule-dependent wildcard post on
+// a brand-new channel would be missed — no in-tree algorithm does that).
+//
+// Every schedule runs under simcheck strict with real data; a CheckError
+// (wrong non-commutative result, semantics violation, or wait-cycle
+// deadlock) becomes a minimal counterexample Trace (mc/trace.hpp) that
+// `dpmlsim --mc-replay` reproduces. Search is DFS over the choice tree with
+// schedule-count and wall-clock budgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mc/trace.hpp"
+
+namespace dpml::mc {
+
+struct McBudget {
+  std::uint64_t max_schedules = 4096;
+  std::uint64_t max_millis = 0;  // wall-clock cap; 0 = unlimited
+};
+
+struct McStats {
+  std::uint64_t schedules = 0;      // schedules actually executed
+  std::uint64_t choice_points = 0;  // oracle calls, summed over schedules
+  std::uint64_t branches = 0;       // alternative schedules enqueued
+  std::uint64_t pruned = 0;         // equivalent siblings not expanded
+  std::uint64_t max_frontier = 0;   // peak DFS stack size
+  bool budget_exhausted = false;
+
+  // Share of the naive branch space cut by the independence relation.
+  double pruned_pct() const {
+    const double total = static_cast<double>(pruned + branches);
+    return total > 0 ? 100.0 * static_cast<double>(pruned) / total : 0.0;
+  }
+};
+
+struct McOutcome {
+  bool ok = true;  // every explored schedule passed strict checking
+  McStats stats;
+  std::optional<Trace> counterexample;  // first failing schedule
+};
+
+// Explore all non-equivalent schedules of one configured collective run
+// (or as many as the budget allows). Stops at the first failure.
+McOutcome explore(const McConfig& cfg, const McBudget& budget);
+
+// Re-execute exactly one schedule: the trace's choice vector with its
+// frozen wildcard set. Returns the observed outcome (failure fields filled
+// the same way explore() fills a counterexample).
+Trace run_schedule(const Trace& t);
+
+}  // namespace dpml::mc

@@ -1,0 +1,30 @@
+// Schedule-sensitivity probe algorithms (test-only, registered on demand).
+//
+// Two deliberately wildcard-heavy allreduce variants that make the
+// explorer's job concrete:
+//
+//   mc-probe-arrival   PLANTED BUG: the root gathers contributions with
+//                      MPI_ANY_SOURCE and folds them in *arrival* order.
+//                      The canonical schedule happens to deliver in
+//                      ascending comm-rank order, so single-schedule
+//                      checking (simcheck alone) passes — but any reordered
+//                      match or same-instant delivery swap produces a wrong
+//                      non-commutative result. The explorer must find this
+//                      within a small schedule budget (tests/mc_test.cpp).
+//
+//   mc-probe-sorted    The correct twin: identical wildcard communication
+//                      pattern, but contributions land in per-source slots
+//                      (indexed by comm rank) and fold in ascending order
+//                      after all arrive. Passes under every schedule.
+//
+// Registration is imperative, NOT static-init: linking dpml_mc must not
+// change the registry the default tools and golden tests see. dpmlmc
+// --probe and dpmlsim --mc-replay call ensure_probe_algorithms() before
+// touching the registry.
+#pragma once
+
+namespace dpml::mc {
+
+void ensure_probe_algorithms();
+
+}  // namespace dpml::mc

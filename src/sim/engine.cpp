@@ -75,9 +75,93 @@ void Engine::push_event(Event ev) {
 
 Engine::Event Engine::pop_event() {
   if (heap_.empty()) refill_front();
+  if (oracle_ != nullptr) return pop_event_mc();
   std::pop_heap(heap_.begin(), heap_.end(), later);
   Event ev = heap_.back();
   heap_.pop_back();
+  return ev;
+}
+
+// Oracle-attached pop. heap_[0] is the global (t, seq) minimum (the calendar
+// invariant keeps every event with t < front_limit_ in the front heap, so
+// all events sharing the minimum's timestamp are in heap_). If that minimum
+// is a tagged message deliver, the enabled set at this instant is every
+// same-t tagged deliver; the oracle may redirect which one fires first.
+// Untagged events (coroutine resumes, timers, transport-internal hops) are
+// never reordered — only message delivery order is a real-MPI degree of
+// freedom.
+Engine::Event Engine::pop_event_mc() {
+  const auto top = mc_meta_.find(heap_.front().seq);
+  if (top == mc_meta_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+  }
+  const Time t = heap_.front().t;
+  // Collect same-instant tagged delivers in seq (= canonical) order.
+  struct Cand {
+    std::uint64_t seq;
+    std::size_t idx;
+    McChannel ch;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].t != t) continue;
+    const auto it = mc_meta_.find(heap_[i].seq);
+    if (it != mc_meta_.end()) cands.push_back({heap_[i].seq, i, it->second});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.seq < b.seq; });
+  // Per-source FIFO dedupe within each (rank, ctx) channel: a second
+  // message from the same source can never overtake the first, so only the
+  // oldest per (rank, ctx, src) is an alternative at all. The canonical
+  // event's (rank, ctx) partition is the choice point; eligible events in
+  // other partitions land in disjoint Matcher queues and are independent
+  // (they get their own pop turns), so a naive permutation explorer's
+  // sibling branches over them are pruned here.
+  std::vector<Cand> alts;
+  std::uint64_t eligible = 0;
+  std::vector<McChannel> seen;
+  for (const Cand& c : cands) {
+    bool dup = false;
+    for (const McChannel& s : seen) {
+      dup = dup || (s.rank == c.ch.rank && s.ctx == c.ch.ctx &&
+                    s.src == c.ch.src);
+    }
+    if (dup) continue;
+    seen.push_back(c.ch);
+    ++eligible;
+    if (c.ch.rank == cands.front().ch.rank &&
+        c.ch.ctx == cands.front().ch.ctx) {
+      alts.push_back(c);
+    }
+  }
+  std::size_t pick = 0;
+  if (alts.size() >= 2 &&
+      oracle_->race_matters(alts.front().ch.rank, alts.front().ch.ctx)) {
+    std::vector<ChoiceAlt> choice;
+    choice.reserve(alts.size());
+    for (const Cand& c : alts) {
+      choice.push_back({c.ch.rank, c.ch.ctx, c.ch.tag, c.ch.src});
+    }
+    pick = oracle_->choose(ChoiceKind::pop, choice);
+    DPML_CHECK_MSG(pick < alts.size(), "schedule oracle pop choice out of range");
+    oracle_->note_pruned(eligible - alts.size());
+  } else {
+    // No observable race at this pop (single candidate in the canonical
+    // channel, or no wildcard consumer there): all other enabled orders
+    // are equivalent, so their sibling branches are pruned wholesale.
+    oracle_->note_pruned(eligible - 1);
+  }
+  const std::size_t idx = alts[static_cast<std::size_t>(pick)].idx;
+  mc_meta_.erase(alts[static_cast<std::size_t>(pick)].seq);
+  Event ev = heap_[idx];
+  // Remove an arbitrary heap element: swap the tail in and re-heapify. Mc
+  // runs are tiny (np <= 5); this O(n) never touches the default path.
+  heap_[idx] = heap_.back();
+  heap_.pop_back();
+  std::make_heap(heap_.begin(), heap_.end(), later);
   return ev;
 }
 
@@ -139,10 +223,6 @@ void Engine::rebuild_year() {
       overflow_.push_back(ev);
     }
   }
-}
-
-void Engine::schedule_fn(Time t, std::function<void()> fn) {
-  schedule_call(t, std::move(fn));
 }
 
 Engine::Detached Engine::run_detached(CoTask<void> task,

@@ -9,9 +9,9 @@
 // Hot path: an event is either a coroutine resume (a bare handle, no
 // allocation) or a callback. Callbacks are type-erased records placed in a
 // per-engine slab pool (sim/pool.hpp), so steady-state scheduling allocates
-// nothing once the pool is warm. schedule_fn() survives only as a
-// compatibility shim over schedule_call() — in-tree code must use the
-// pooled form (enforced by the dpmllint `schedule-fn` rule).
+// nothing once the pool is warm. The pre-pool schedule_fn() shim is gone —
+// schedule_call() is the only form (the dpmllint `schedule-fn` rule keeps
+// it from coming back).
 //
 // Two schedulers sit behind SchedulerKind, both draining events in exactly
 // the same strict (t, seq) total order — the choice can never change
@@ -36,12 +36,14 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/oracle.hpp"
 #include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -127,9 +129,20 @@ class Engine {
     push_event(Event{t, seq_++, {}, cb});
   }
 
-  // Compatibility shim for pre-pool callers; new in-tree code must use
-  // schedule_call (dpmllint flags schedule_fn uses outside this header).
-  void schedule_fn(Time t, std::function<void()> fn);
+  // schedule_call with message-delivery metadata for model checking: when
+  // an oracle is attached the event is recorded as a deliver on channel
+  // `ch`, so same-instant pops can be redirected (sim/oracle.hpp). Without
+  // an oracle this is exactly schedule_call.
+  template <typename F>
+  void schedule_call_mc(Time t, const McChannel& ch, F&& fn) {
+    if (oracle_ != nullptr) mc_meta_.emplace(seq_, ch);
+    schedule_call(t, std::forward<F>(fn));
+  }
+
+  // Attach a schedule oracle (model-checking mode). Null — the default —
+  // keeps every pop canonical with zero candidate-list work.
+  void set_oracle(ScheduleOracle* oracle) { oracle_ = oracle; }
+  ScheduleOracle* oracle() const { return oracle_; }
 
   // Awaitable that resumes the caller after `d` picoseconds.
   // A non-positive delay resumes without suspension.
@@ -244,6 +257,9 @@ class Engine {
   void check_not_past(Time t) const;
   void push_event(Event ev);
   Event pop_event();
+  // Oracle-attached pop: may redirect which same-instant tagged deliver
+  // event leaves the front heap first (engine.cpp).
+  Event pop_event_mc();
   bool queue_empty() const { return heap_.empty() && staged_ == 0; }
 
   // Calendar internals (engine.cpp): refill the front heap from the next
@@ -295,6 +311,11 @@ class Engine {
   std::exception_ptr error_{};
   SlabPool callback_pool_{kCallbackChunk};
   BufferPool payload_pool_;
+  // Model-checking seam: null on every default path. mc_meta_ maps the seq
+  // of each still-queued tagged deliver event to its channel; entries are
+  // erased when their event pops, so the map stays bounded by the backlog.
+  ScheduleOracle* oracle_ = nullptr;
+  std::map<std::uint64_t, McChannel> mc_meta_;
 };
 
 }  // namespace dpml::sim

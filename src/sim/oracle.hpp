@@ -1,0 +1,80 @@
+// Schedule oracle: the explicit nondeterminism seam for model checking.
+//
+// The simulator is deterministic by construction — events pop in exact
+// (t, seq) order and unexpected-queue matches scan in arrival order. Those
+// two orders are *schedules*, not semantics: real MPI may deliver
+// same-instant messages in any order and match an MPI_ANY_SOURCE receive
+// against any queued source. A ScheduleOracle makes each such point an
+// explicit choice the model checker (src/mc/) can redirect.
+//
+// Contract:
+//  - alts[0] is always the canonical candidate (the one the default
+//    deterministic schedule would take). An oracle that returns 0 from
+//    every choose() call reproduces the default schedule bit-identically.
+//  - With no oracle attached (the default everywhere), neither the engine
+//    nor the Matcher ever builds a candidate list; all existing paths stay
+//    byte-for-byte unchanged.
+//  - choose() is called at deterministic points in a deterministic order,
+//    so a recorded choice vector replays exactly (docs/CHECKING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpml::sim {
+
+// Where a choice arises: `pop` redirects which same-instant tagged deliver
+// event the engine pops first; `match` redirects which queued source an
+// MPI_ANY_SOURCE receive matches.
+enum class ChoiceKind : std::uint8_t { pop, match };
+
+// The message-delivery channel an event or envelope belongs to. Matches on
+// disjoint (rank, ctx) are independent (they touch different Matcher
+// queues); within one channel, same-source messages are FIFO-ordered and
+// never alternatives of each other.
+struct McChannel {
+  int rank = -1;  // destination world rank
+  int ctx = 0;    // communicator context id
+  int tag = -1;
+  int src = -1;   // source world rank
+};
+
+// One eligible alternative at a choice point (same layout as McChannel,
+// kept separate so the trace format can evolve independently).
+struct ChoiceAlt {
+  int rank = -1;
+  int ctx = 0;
+  int tag = -1;
+  int src = -1;
+};
+
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  // Pick one of `alts` (never empty; alts[0] canonical). Must return an
+  // index < alts.size().
+  virtual std::size_t choose(ChoiceKind kind,
+                             const std::vector<ChoiceAlt>& alts) = 0;
+
+  // A wildcard receive (MPI_ANY_SOURCE / MPI_ANY_TAG) was posted on
+  // (rank, ctx). Until a channel has seen one, delivery order into it is
+  // unobservable (per-source FIFO + deterministic matching), so pop races
+  // there need not be explored.
+  virtual void note_wildcard_recv(int rank, int ctx) = 0;
+
+  // Should same-instant delivery order into (rank, ctx) be explored?
+  // Sound default: true. The explorer answers from the wildcard-channel
+  // set accumulated by note_wildcard_recv over the whole exploration (the
+  // canonical first schedule runs the full program, so every wildcard
+  // channel is known before any branching happens).
+  virtual bool race_matters(int rank, int ctx) = 0;
+
+  // `n` sibling branches a naive order-explorer would have expanded here
+  // were pruned as equivalent (independent channels, FIFO duplicates, or
+  // channels with no wildcard consumer).
+  virtual void note_pruned(std::uint64_t n) = 0;
+};
+
+}  // namespace dpml::sim

@@ -57,6 +57,9 @@ Rank::Rank(Machine& m, int world_rank)
   local_rank_ = world_rank % m.ppn();
   socket_ = m.socket_of_local(local_rank_);
   matcher_.set_recycler(m.data_plane().recycler());
+  if (m.options().oracle != nullptr) {
+    matcher_.set_oracle(m.options().oracle, world_rank_);
+  }
 }
 
 sim::Engine& Rank::engine() { return machine_->engine(); }
@@ -235,6 +238,13 @@ Machine::Machine(net::ClusterConfig cfg, int nodes, int ppn, RunOptions opt)
   // (every rank typically has a handful of outstanding events).
   engine_.reserve_events(static_cast<std::size_t>(nodes) *
                          static_cast<std::size_t>(ppn) * 8);
+  if (opt_.oracle != nullptr) {
+    DPML_CHECK_MSG(opt_.check_level != check::CheckLevel::off,
+                   "a schedule oracle explores alternative message orders; "
+                   "run it under simcheck (check_level=basic/strict) so a "
+                   "bad schedule is reported rather than silently computed");
+    engine_.set_oracle(opt_.oracle);
+  }
   for (int i = 0; i < nodes; ++i) nodes_.emplace_back(*this, i);
   std::vector<int> world_ranks(static_cast<std::size_t>(nodes) * ppn);
   for (int i = 0; i < static_cast<int>(world_ranks.size()); ++i) {
@@ -608,10 +618,15 @@ sim::CoTask<void> Machine::do_send(Rank& sender, int dst_world, int ctx,
     send_dtype = ck->current_dtype(src_world);
   }
 
+  // Every envelope delivery (shm, eager, rendezvous-RTS) funnels through
+  // here; tagging it with its (rank, ctx, tag, src) channel lets a model-
+  // checking oracle reorder same-instant deliveries (no-op when detached).
   auto deliver_at = [this, dst_world](Time t, Envelope env) {
-    engine_.schedule_call(t, [this, dst_world, env = std::move(env)]() mutable {
-      rank(dst_world).matcher().deliver(std::move(env));
-    });
+    const sim::McChannel ch{dst_world, env.ctx, env.tag, env.src};
+    engine_.schedule_call_mc(
+        t, ch, [this, dst_world, env = std::move(env)]() mutable {
+          rank(dst_world).matcher().deliver(std::move(env));
+        });
   };
 
   // Perturbation modifiers. `chg` scales every host-side charge the sender

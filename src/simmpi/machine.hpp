@@ -64,6 +64,11 @@ struct RunOptions {
   // for time-only runs and the binary heap otherwise; either choice drains
   // events in the same strict order, so results never depend on it.
   sim::SchedulerKind scheduler = sim::SchedulerKind::automatic;
+  // Model-checking schedule oracle (sim/oracle.hpp), attached to the engine
+  // and every rank's Matcher. Null — the default — keeps all scheduling
+  // canonical; the explorer in src/mc/ supplies one to enumerate message
+  // races (docs/CHECKING.md).
+  sim::ScheduleOracle* oracle = nullptr;
 };
 
 struct RecvResult {

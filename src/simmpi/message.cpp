@@ -32,6 +32,43 @@ void Matcher::complete(PostedRecv& pr, Envelope& env) {
 
 void Matcher::post_recv(PostedRecv* pr) {
   DPML_CHECK(pr != nullptr && pr->done != nullptr);
+  if (oracle_ != nullptr) {
+    if (pr->src == kAnySource || pr->tag == kAnyTag) {
+      oracle_->note_wildcard_recv(mc_rank_, pr->ctx);
+    }
+    if (pr->src == kAnySource) {
+      // Unexpected-queue choice point: the first matching envelope of each
+      // distinct source is eligible (per-source FIFO order is preserved);
+      // with two or more sources queued, the match is a real MPI race.
+      std::vector<std::deque<Envelope>::iterator> firsts;
+      for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (!matches(*pr, *it)) continue;
+        bool seen = false;
+        for (const auto& f : firsts) seen = seen || f->src == it->src;
+        if (!seen) firsts.push_back(it);
+      }
+      if (!firsts.empty()) {
+        std::size_t pick = 0;
+        if (firsts.size() >= 2) {
+          std::vector<sim::ChoiceAlt> alts;
+          alts.reserve(firsts.size());
+          for (const auto& f : firsts) {
+            alts.push_back({mc_rank_, f->ctx, f->tag, f->src});
+          }
+          pick = oracle_->choose(sim::ChoiceKind::match, alts);
+          DPML_CHECK_MSG(pick < firsts.size(),
+                         "schedule oracle match choice out of range");
+        }
+        auto it = firsts[pick];
+        Envelope env = std::move(*it);
+        unexpected_.erase(it);
+        complete(*pr, env);
+        return;
+      }
+      posted_.push_back(pr);
+      return;
+    }
+  }
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (matches(*pr, *it)) {
       Envelope env = std::move(*it);

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/oracle.hpp"
 #include "sim/pool.hpp"
 #include "sim/sync.hpp"
 #include "simmpi/datatype.hpp"
@@ -80,6 +81,15 @@ class Matcher {
   // by the owning Rank; unset matchers free buffers normally).
   void set_recycler(sim::BufferPool* pool) { recycle_ = pool; }
 
+  // Model-checking seam (sim/oracle.hpp): wildcard posts report their
+  // channel, and an MPI_ANY_SOURCE receive that could match several queued
+  // sources becomes an explicit choice point. Null (the default) keeps the
+  // canonical arrival-order scan byte-for-byte.
+  void set_oracle(sim::ScheduleOracle* oracle, int world_rank) {
+    oracle_ = oracle;
+    mc_rank_ = world_rank;
+  }
+
  private:
   static bool matches(const PostedRecv& pr, const Envelope& env) {
     return pr.ctx == env.ctx &&
@@ -94,6 +104,8 @@ class Matcher {
   std::deque<PostedRecv*> posted_;
   std::vector<sim::Flag*> watchers_;
   sim::BufferPool* recycle_ = nullptr;
+  sim::ScheduleOracle* oracle_ = nullptr;
+  int mc_rank_ = -1;
 };
 
 }  // namespace dpml::simmpi

@@ -151,7 +151,7 @@ TEST(LintAwaitTemp, EmptyBracesAndNamedLocalsAreFine) {
 // ---------------------------------------------------------------------------
 // schedule-fn
 
-TEST(LintScheduleFn, ShimUseFiresOutsideEngine) {
+TEST(LintScheduleFn, RemovedShimNameFires) {
   const auto fs = lint("void f(Engine& e) { e.schedule_fn(t, cb); }\n");
   ASSERT_EQ(count_rule(fs, "schedule-fn"), 1);
   EXPECT_EQ(fs[0].line, 1);
@@ -160,10 +160,16 @@ TEST(LintScheduleFn, ShimUseFiresOutsideEngine) {
   EXPECT_TRUE(lint("void reschedule_fnord();\n").empty());
 }
 
-TEST(LintScheduleFn, EngineHeaderAndImplAreTheSanctionedHome) {
+TEST(LintScheduleFn, NoSanctionedHomeNowThatTheShimIsGone) {
+  // The shim itself was deleted; reintroducing the name anywhere — engine
+  // included — is a finding.
   const std::string src = "void Engine::schedule_fn(Time t, F fn) {}\n";
-  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.hpp", src).empty());
-  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.cpp", src).empty());
+  EXPECT_EQ(count_rule(dpml::lint::lint_source("src/sim/engine.hpp", src),
+                       "schedule-fn"),
+            1);
+  EXPECT_EQ(count_rule(dpml::lint::lint_source("src/sim/engine.cpp", src),
+                       "schedule-fn"),
+            1);
   EXPECT_EQ(count_rule(dpml::lint::lint_source("src/simmpi/machine.cpp", src),
                        "schedule-fn"),
             1);
@@ -172,6 +178,53 @@ TEST(LintScheduleFn, EngineHeaderAndImplAreTheSanctionedHome) {
 TEST(LintScheduleFn, SuppressibleLikeEveryRule) {
   EXPECT_TRUE(
       lint("e.schedule_fn(t, cb);  // dpmllint: allow(schedule-fn)\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// match-order-assumption
+
+TEST(LintMatchOrder, PositionalQueueAccessFires) {
+  const auto fs = lint("int s = m.unexpected()[0].src;\n");
+  ASSERT_EQ(count_rule(fs, "match-order-assumption"), 1);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(count_rule(lint("auto& e = m.posted().front();\n"),
+                       "match-order-assumption"),
+            1);
+  EXPECT_EQ(count_rule(lint("auto& e = m.unexpected().at(i);\n"),
+                       "match-order-assumption"),
+            1);
+}
+
+TEST(LintMatchOrder, SeqOrderingComparisonFires) {
+  EXPECT_EQ(count_rule(lint("bool b = a.seq < c.seq;\n"),
+                       "match-order-assumption"),
+            1);
+  EXPECT_EQ(count_rule(lint("bool b = a->seq >= c->seq;\n"),
+                       "match-order-assumption"),
+            1);
+}
+
+TEST(LintMatchOrder, LookupsCountsAndEqualityAreFine) {
+  // Size queries, iteration-to-search, and equality make no order claim.
+  EXPECT_TRUE(lint("auto n = m.unexpected().size();\n").empty());
+  EXPECT_TRUE(
+      lint("for (auto& e : m.unexpected()) { if (e.ctx == c) use(e); }\n")
+          .empty());
+  EXPECT_TRUE(lint("bool b = a.seq == c.seq;\n").empty());
+  // seq as a plain counter, a subscript base, or streamed output is fine.
+  EXPECT_TRUE(lint("ks.seq[rank]++;\n").empty());
+  EXPECT_TRUE(lint("os << e.seq << '\\n';\n").empty());
+  // A free variable named seq (no member access) is out of scope.
+  EXPECT_TRUE(lint("int seq = 0; if (seq < n) ++seq;\n").empty());
+}
+
+TEST(LintMatchOrder, EngineAndMatcherAreTheSanctionedHomes) {
+  const std::string src = "bool lt = a.seq < b.seq;\n";
+  EXPECT_TRUE(dpml::lint::lint_source("src/sim/engine.cpp", src).empty());
+  EXPECT_TRUE(dpml::lint::lint_source("src/simmpi/message.cpp", src).empty());
+  EXPECT_EQ(count_rule(dpml::lint::lint_source("src/coll/flat.cpp", src),
+                       "match-order-assumption"),
+            1);
 }
 
 // ---------------------------------------------------------------------------
@@ -278,6 +331,13 @@ TEST(LintFixtures, ScheduleFnShimCaught) {
       dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/schedule_fn.cc");
   EXPECT_EQ(count_rule(fs, "schedule-fn"), 2);  // declaration + call site
   for (const Finding& f : fs) EXPECT_EQ(f.rule, "schedule-fn");
+}
+
+TEST(LintFixtures, MatchOrderAssumptionCaught) {
+  const auto fs =
+      dpml::lint::lint_file(kRoot + "/tests/lint_fixtures/match_order.cc");
+  EXPECT_EQ(count_rule(fs, "match-order-assumption"), 5);  // 3 queue + 2 seq
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "match-order-assumption");
 }
 
 TEST(LintFixtures, PayloadPlaneCaught) {

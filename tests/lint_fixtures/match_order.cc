@@ -1,0 +1,62 @@
+// dpmllint fixture: code that bakes in the canonical message-matching order
+// the schedule explorer (dpmlmc, src/mc/) deliberately varies — positional
+// access into Matcher queues and ordering comparisons on engine seq numbers.
+// Never compiled; scanned by dpmllint_test.
+#include <cstdint>
+#include <deque>
+
+struct Envelope {
+  int ctx = 0;
+  int src = 0;
+  int tag = 0;
+};
+
+struct Event {
+  std::uint64_t seq = 0;
+};
+
+struct Matcher {
+  const std::deque<Envelope>& unexpected() const;
+  const std::deque<Envelope*>& posted() const;
+};
+
+int first_sender(const Matcher& m) {
+  return m.unexpected()[0].src;  // match-order-assumption (subscript)
+}
+
+int oldest_posted(const Matcher& m) {
+  return m.posted().front()->tag;  // match-order-assumption (front)
+}
+
+int nth(const Matcher& m, std::size_t i) {
+  return m.unexpected().at(i).ctx;  // match-order-assumption (at)
+}
+
+bool arrived_before(const Event& a, const Event& b) {
+  return a.seq < b.seq;  // match-order-assumption (relational seq)
+}
+
+bool arrived_after(const Event* a, const Event* b) {
+  return a->seq > b->seq;  // match-order-assumption (relational seq)
+}
+
+std::size_t fine(const Matcher& m, const Event& a, const Event& b) {
+  // Size queries and equality lookups make no order assumption:
+  std::size_t n = m.unexpected().size() + m.posted().size();
+  if (a.seq == b.seq) ++n;
+
+  // Iterating to *search* by (ctx, src, tag) is the sanctioned idiom:
+  for (const Envelope& env : m.unexpected()) {
+    if (env.ctx == 7) ++n;
+  }
+
+  // seq as a counter (no ordering) is fine:
+  Event e;
+  e.seq += 1;
+
+  // Masked contexts must not fire:
+  //   m.unexpected()[0] in a comment is fine
+  const char* doc = "posted().front() in a string is fine";
+  (void)doc;
+  return n;
+}

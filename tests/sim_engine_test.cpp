@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -46,14 +47,17 @@ TEST(Engine, RejectsPastEvents) {
   e.run();
 }
 
-TEST(Engine, ScheduleFnShimMatchesScheduleCall) {
-  // The deprecated std::function shim must keep the exact (t, seq) ordering
-  // semantics of the pooled path it forwards to.
+TEST(Engine, WrappedStdFunctionMatchesScheduleCallOrdering) {
+  // std::function callables route through the same pooled schedule_call as
+  // plain lambdas (the old schedule_fn shim is gone) and keep the exact
+  // (t, seq) ordering semantics.
   Engine e;
   std::vector<int> order;
-  e.schedule_fn(us(2.0), [&] { order.push_back(2); });   // dpmllint: allow(schedule-fn)
+  std::function<void()> first = [&] { order.push_back(2); };
+  std::function<void()> third = [&] { order.push_back(1); };
+  e.schedule_call(us(2.0), std::move(first));
   e.schedule_call(us(2.0), [&] { order.push_back(3); });
-  e.schedule_fn(us(1.0), [&] { order.push_back(1); });   // dpmllint: allow(schedule-fn)
+  e.schedule_call(us(1.0), std::move(third));
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }

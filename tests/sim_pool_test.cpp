@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -196,13 +197,15 @@ TEST(EnginePool, OversizeCaptureFallsBackSafely) {
   EXPECT_GE(e.perf().callback_pool.misses, 1u);
 }
 
-TEST(EnginePool, ScheduleFnShimStillWorksAndPools) {
-  // Compatibility shim: out-of-tree callers keep working; the record still
-  // comes from the pool (the shim forwards to schedule_call).
+TEST(EnginePool, StdFunctionCallablesStillPool) {
+  // The old schedule_fn shim is gone: a caller holding a std::function
+  // passes it straight to schedule_call, and the record still comes from
+  // the pool.
   Engine e;
   int fired = 0;
-  e.schedule_fn(1, [&fired] { ++fired; });  // dpmllint: allow(schedule-fn)
-  e.schedule_fn(2, [&fired] { ++fired; });  // dpmllint: allow(schedule-fn)
+  std::function<void()> cb = [&fired] { ++fired; };
+  e.schedule_call(1, cb);
+  e.schedule_call(2, std::move(cb));
   e.run();
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(e.perf().callback_pool.live, 0u);

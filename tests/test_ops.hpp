@@ -1,107 +1,19 @@
 // Shared test operator: an associative, NON-commutative user reduction.
 //
-// Each element packs an affine map x -> m*x + c into one integer (m in the
-// high half, c in the low half, arithmetic mod 2^half). The reduction is
-// function composition,
-//
-//   (m_l, c_l) op (m_r, c_r) = (m_l * m_r,  m_l * c_r + c_l)
-//
-// i.e. acc = acc ∘ in. Composition is associative but not commutative, and
-// — unlike subtraction-style examples — it detects arbitrary transpositions
-// of the operand sequence, not just parity. i32 and i64 only.
+// The implementation lives in src/mc/affine.hpp (the schedule explorer uses
+// the same op, so there is exactly one definition of the affine-composition
+// semantics); this header re-exports it under the historical test names.
 #pragma once
 
-#include <cstdint>
-#include <cstring>
-#include <stdexcept>
-#include <vector>
-
-#include "simmpi/datatype.hpp"
+#include "mc/affine.hpp"
 
 namespace dpml::testing {
 
-template <typename U>
-U affine_pack(U m, U c) {
-  constexpr int kHalf = static_cast<int>(sizeof(U)) * 4;
-  const U mask = (U{1} << kHalf) - 1;
-  return ((m & mask) << kHalf) | (c & mask);
-}
-
-template <typename U>
-U affine_combine(U l, U r) {
-  constexpr int kHalf = static_cast<int>(sizeof(U)) * 4;
-  const U mask = (U{1} << kHalf) - 1;
-  const U ml = (l >> kHalf) & mask;
-  const U cl = l & mask;
-  const U mr = (r >> kHalf) & mask;
-  const U cr = r & mask;
-  return affine_pack<U>(ml * mr, ml * cr + cl);
-}
-
-template <typename U>
-void affine_fold(std::size_t count, simmpi::MutBytes acc,
-                 simmpi::ConstBytes in) {
-  for (std::size_t j = 0; j < count; ++j) {
-    U a, b;
-    std::memcpy(&a, acc.data() + j * sizeof(U), sizeof(U));
-    std::memcpy(&b, in.data() + j * sizeof(U), sizeof(U));
-    const U r = affine_combine<U>(a, b);
-    std::memcpy(acc.data() + j * sizeof(U), &r, sizeof(U));
-  }
-}
-
-// The Op handle (MPI_Op_create with commute = false).
-inline simmpi::Op affine_op() {
-  return simmpi::Op(
-      [](simmpi::Dtype dt, std::size_t count, simmpi::MutBytes acc,
-         simmpi::ConstBytes in) {
-        if (acc.empty() || in.empty()) return;  // metadata-only
-        if (dt == simmpi::Dtype::i32) {
-          affine_fold<std::uint32_t>(count, acc, in);
-        } else if (dt == simmpi::Dtype::i64) {
-          affine_fold<std::uint64_t>(count, acc, in);
-        } else {
-          throw std::logic_error("affine_op supports i32/i64 only");
-        }
-      },
-      /*commutative=*/false);
-}
-
-// Rank `rank`'s operand vector: per-element maps distinct in both rank and
-// element index, with odd multipliers so no operand collapses the product.
-inline std::vector<std::byte> affine_operand(simmpi::Dtype dt,
-                                             std::size_t count, int rank) {
-  const std::size_t esize = simmpi::dtype_size(dt);
-  std::vector<std::byte> buf(count * esize);
-  for (std::size_t j = 0; j < count; ++j) {
-    const auto r = static_cast<std::uint64_t>(rank);
-    const std::uint64_t m = 2 * (5 * r + 7 * j) + 3;
-    const std::uint64_t c = 11 * r + 13 * j + 1;
-    if (dt == simmpi::Dtype::i32) {
-      const std::uint32_t v = affine_pack<std::uint32_t>(
-          static_cast<std::uint32_t>(m), static_cast<std::uint32_t>(c));
-      std::memcpy(buf.data() + j * esize, &v, esize);
-    } else if (dt == simmpi::Dtype::i64) {
-      const std::uint64_t v = affine_pack<std::uint64_t>(m, c);
-      std::memcpy(buf.data() + j * esize, &v, esize);
-    } else {
-      throw std::logic_error("affine_operand supports i32/i64 only");
-    }
-  }
-  return buf;
-}
-
-// Serial left-fold in ascending rank order — the reduction order MPI
-// guarantees for non-commutative ops.
-inline std::vector<std::byte> affine_reference(simmpi::Dtype dt,
-                                               std::size_t count, int world) {
-  std::vector<std::byte> ref = affine_operand(dt, count, 0);
-  const simmpi::Op op = affine_op();
-  for (int r = 1; r < world; ++r) {
-    const auto in = affine_operand(dt, count, r);
-    op.apply(dt, count, simmpi::MutBytes{ref}, simmpi::ConstBytes{in});
-  }
-  return ref;
-}
+using mc::affine_combine;
+using mc::affine_fold;
+using mc::affine_op;
+using mc::affine_operand;
+using mc::affine_pack;
+using mc::affine_reference;
 
 }  // namespace dpml::testing

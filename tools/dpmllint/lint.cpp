@@ -522,23 +522,105 @@ void scan_await_temporary(const std::string& file, const std::string& masked,
 // Rule: schedule-fn
 // ---------------------------------------------------------------------------
 
-// Engine::schedule_fn survives only as a compatibility shim over the pooled
-// schedule_call: every event it schedules moves through a std::function,
-// which heap-allocates on the engine hot path. New in-tree code must use
-// schedule_call (the callable is placed in the per-engine slab pool); the
-// shim's own declaration and definition in sim/engine.{hpp,cpp} are the one
-// sanctioned home for the name.
+// Engine::schedule_fn was a compatibility shim over the pooled
+// schedule_call: every event it scheduled moved through a std::function,
+// which heap-allocated on the engine hot path. The shim has been removed;
+// the rule stays so the name cannot be reintroduced — use schedule_call
+// (the callable is placed in the per-engine slab pool).
 void scan_schedule_fn(const std::string& file, const std::string& masked,
                       const std::vector<std::size_t>& starts,
                       std::vector<Finding>& out) {
-  if (file.find("sim/engine.") != std::string::npos) return;
   std::size_t pos = 0;
   while ((pos = find_token(masked, "schedule_fn", pos)) != std::string::npos) {
     out.push_back(
         {file, line_of(starts, pos), "schedule-fn",
-         "schedule_fn is a compatibility shim that heap-allocates a "
-         "std::function per event; use Engine::schedule_call (pooled)"});
+         "schedule_fn was a shim that heap-allocated a std::function per "
+         "event and has been removed; use Engine::schedule_call (pooled)"});
     pos += std::string("schedule_fn").size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: match-order-assumption
+// ---------------------------------------------------------------------------
+
+// Under dpmlmc (src/mc/) the order in which same-timestamp messages land in
+// a Matcher queue is a schedule choice, not a stable total order: code that
+// indexes Matcher::unexpected()/posted() positionally, or orders events by
+// their engine seq number, bakes in the canonical schedule and will be
+// falsified by the explorer. The matcher and engine themselves (which own
+// the queues and define the tie-break) are the sanctioned homes.
+void scan_match_order_assumption(const std::string& file,
+                                 const std::string& masked,
+                                 const std::vector<std::size_t>& starts,
+                                 std::vector<Finding>& out) {
+  const bool is_home = file.find("sim/engine.") != std::string::npos ||
+                       file.find("simmpi/message.") != std::string::npos;
+  if (is_home) return;
+
+  // Positional access into a Matcher queue accessor:
+  //   m.unexpected()[0]  m.posted().front()  m.unexpected().at(i)  ...
+  for (const char* queue : {"unexpected", "posted"}) {
+    std::size_t pos = 0;
+    while ((pos = find_token(masked, queue, pos)) != std::string::npos) {
+      const std::size_t tok = pos;
+      pos += std::string(queue).size();
+      std::size_t p = skip_ws(masked, pos);
+      if (p >= masked.size() || masked[p] != '(') continue;
+      p = match_close(masked, p);
+      if (p == std::string::npos) continue;
+      p = skip_ws(masked, p);
+      const bool subscript = p < masked.size() && masked[p] == '[';
+      bool positional_member = false;
+      if (!subscript && p < masked.size() && masked[p] == '.') {
+        const std::size_t q = skip_ws(masked, p + 1);
+        for (const char* m : {"front", "back", "at"}) {
+          const std::size_t len = std::string(m).size();
+          if (masked.compare(q, len, m) == 0 &&
+              (q + len >= masked.size() || !ident_char(masked[q + len]))) {
+            positional_member = true;
+            break;
+          }
+        }
+      }
+      if (subscript || positional_member) {
+        out.push_back(
+            {file, line_of(starts, tok), "match-order-assumption",
+             std::string(queue) +
+                 "(): positional access into a Matcher queue assumes a "
+                 "fixed arrival order; same-timestamp order is a schedule "
+                 "choice explored by dpmlmc — match by (ctx, src, tag) "
+                 "instead"});
+      }
+    }
+  }
+
+  // Ordering comparisons on an event's seq member (a.seq < b.seq, ...).
+  // Equality lookups are fine: only relational operators assume the
+  // tie-break order. `<<`/`>>` (streams, shifts) and `->` are not
+  // comparisons.
+  std::size_t pos = 0;
+  while ((pos = find_token(masked, "seq", pos)) != std::string::npos) {
+    const std::size_t tok = pos;
+    pos += 3;
+    const bool member =
+        tok > 0 && (masked[tok - 1] == '.' ||
+                    (tok > 1 && masked[tok - 2] == '-' &&
+                     masked[tok - 1] == '>'));
+    if (!member) continue;
+    const std::size_t p = skip_ws(masked, tok + 3);
+    if (p >= masked.size()) continue;
+    const char c = masked[p];
+    const char n = p + 1 < masked.size() ? masked[p + 1] : '\0';
+    const bool relational =
+        (c == '<' && n != '<') || (c == '>' && n != '>' && n != '\0');
+    if (relational) {
+      out.push_back(
+          {file, line_of(starts, tok), "match-order-assumption",
+           "ordering comparison on an event seq number outside the engine; "
+           "seq is the canonical tie-break the schedule explorer varies — "
+           "do not derive program behavior from it"});
+    }
   }
 }
 
@@ -591,6 +673,7 @@ std::vector<Finding> lint_source(const std::string& file,
   scan_coro_ref_capture(file, masked, starts, found);
   scan_await_temporary(file, masked, starts, found);
   scan_schedule_fn(file, masked, starts, found);
+  scan_match_order_assumption(file, masked, starts, found);
   scan_payload_plane(file, masked, starts, found);
 
   std::vector<Finding> kept;

@@ -34,6 +34,8 @@
 #include "core/executor.hpp"
 #include "core/selection.hpp"
 #include "fabric/fabric.hpp"
+#include "mc/explore.hpp"
+#include "mc/probes.hpp"
 #include "model/fit.hpp"
 #include "perturb/spec.hpp"
 #include "net/cluster.hpp"
@@ -104,7 +106,13 @@ int usage() {
       "                checked-in BENCH_perf.json snapshot)\n"
       "              --list-algorithms  (print the collective registry)\n"
       "              --list-clusters  (print presets with derived fabric\n"
-      "                link counts and capacities)\n";
+      "                link counts and capacities)\n"
+      "              --mc-replay FILE  (re-execute a dpmlmc counterexample\n"
+      "                trace: replays the recorded message-matching choices\n"
+      "                exactly and reports the schedule's strict-check\n"
+      "                outcome. Exit 0: passed; 1: failed as recorded;\n"
+      "                3: outcome diverged from the trace. See\n"
+      "                docs/CHECKING.md)\n";
   return 2;
 }
 
@@ -627,6 +635,36 @@ int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
   return 0;
 }
 
+// --mc-replay FILE: re-execute one explored schedule from a dpmlmc
+// counterexample trace (src/mc/). Distinct from the `replay` subcommand,
+// which replays an application communication trace.
+int cmd_mc_replay(const std::string& path) {
+  mc::ensure_probe_algorithms();
+  const mc::Trace t = mc::load_trace(path);
+  std::cout << "mc-replay: " << t.config.label() << ", "
+            << t.choices.size() << " recorded choice(s), recorded outcome: "
+            << (t.failure_type.empty() ? "pass" : t.failure_type) << "\n";
+  const mc::Trace obs = mc::run_schedule(t);
+  if (obs.failure_type.empty()) {
+    std::cout << "schedule passed strict checking\n";
+  } else {
+    std::cout << "schedule failed (" << obs.failure_type << "):\n"
+              << obs.failure_report << "\n";
+    if (!obs.deadlock_json.empty()) {
+      std::cout << "wait-cycle: " << obs.deadlock_json << "\n";
+    }
+  }
+  if (obs.failure_type != t.failure_type) {
+    std::cerr << "dpmlsim: replay outcome diverged from the trace (recorded "
+              << (t.failure_type.empty() ? "pass" : t.failure_type)
+              << ", observed "
+              << (obs.failure_type.empty() ? "pass" : obs.failure_type)
+              << ")\n";
+    return 3;
+  }
+  return obs.failure_type.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -638,6 +676,14 @@ int main(int argc, char** argv) {
     core::set_default_jobs(static_cast<int>(args.get_int("jobs", 1)));
   if (args.get_bool("list-algorithms", false)) return cmd_list_algorithms();
   if (args.get_bool("list-clusters", false)) return cmd_list_clusters();
+  if (args.has("mc-replay")) {
+    try {
+      return cmd_mc_replay(args.get("mc-replay"));
+    } catch (const std::exception& e) {
+      std::cerr << "dpmlsim: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (args.positional().empty()) return usage();
   const std::string cmd = args.positional()[0];
   try {
