@@ -9,7 +9,10 @@ more per PR), each tagged by (tool, data_mode). Two commands:
       the same (tool, data_mode). Flags events/sec regressions beyond
       --threshold (default 10%). NEVER gates: wall-clock throughput varies
       wildly across runners, so the exit code is always 0 — the output is
-      for humans reading the CI log.
+      for humans reading the CI log. Snapshots from tools or entries that
+      carry no events_per_sec (e.g. dpmlsim tenants, which reports fabric
+      metadata instead) are listed and skipped, never treated as a -100%
+      regression; unknown extra fields are ignored.
 
   append BENCH_perf.json NEW.json [NEW2.json ...] [--label TEXT]
       Append the snapshots to the trajectory array in place (converting a
@@ -54,8 +57,9 @@ def cmd_delta(args):
             continue
         old_eps = old.get("events_per_sec", 0)
         new_eps = new.get("events_per_sec", 0)
-        if old_eps <= 0:
-            print(f"[perf-delta] {tag}: baseline has no events/sec; skipped")
+        if old_eps <= 0 or new_eps <= 0:
+            which = "baseline" if old_eps <= 0 else "snapshot"
+            print(f"[perf-delta] {tag}: {which} has no events/sec; skipped")
             continue
         change = (new_eps - old_eps) / old_eps * 100.0
         worst = min(worst, change)
@@ -63,7 +67,7 @@ def cmd_delta(args):
         print(f"[perf-delta] {tag}: {old_eps} -> {new_eps} events/sec "
               f"({change:+.1f}%) {mark}")
         for field in ("events", "peak_queue_depth", "peak_rss_kb",
-                      "elided_bytes"):
+                      "elided_bytes", "fabric_flows", "max_link_util"):
             if field in new or field in old:
                 print(f"[perf-delta]   {field}: {old.get(field, '-')} -> "
                       f"{new.get(field, '-')}")

@@ -67,6 +67,7 @@ struct RepOutcome {
   bool verified = true;
   bool fabric_links = false;
   double max_link_util = 0.0;
+  std::uint64_t fabric_flows = 0;
   std::uint64_t imbalance_ops = 0;
   sim::Time imb_entry = 0;
   sim::Time imb_exit = 0;
@@ -212,6 +213,7 @@ RepOutcome measure_rep(CollKind kind, const net::ClusterConfig& cfg,
   if (const fabric::FlowFabric* ff = machine.flow_fabric()) {
     out.fabric_links = true;
     out.max_link_util = ff->max_avg_link_utilization(machine.engine().now());
+    out.fabric_flows = ff->total_flows();
   }
   for (const auto& [key, st] : machine.imbalance_stats()) {
     (void)key;
@@ -386,6 +388,7 @@ MeasureResult measure_collective(CollKind kind, const net::ClusterConfig& cfg,
       res.fabric_links = true;
       res.oversubscription = cfg.oversubscription;
       res.max_link_util = std::max(res.max_link_util, rep.max_link_util);
+      res.fabric_flows += rep.fabric_flows;
     }
     res.imbalance_ops += rep.imbalance_ops;
     imb_entry += rep.imb_entry;

@@ -97,6 +97,7 @@ struct MeasureResult {
   bool fabric_links = false;
   double oversubscription = 1.0;
   double max_link_util = 0.0;
+  std::uint64_t fabric_flows = 0;  // flows launched, summed over reps
   // Host-side performance counters (dpmlsim --perf, bench summaries).
   MeasurePerf perf;
 };

@@ -145,10 +145,92 @@ int FlowFabric::ecmp_way(int src_node, int dst_node, int ways) {
   return static_cast<int>(x % static_cast<std::uint64_t>(ways));
 }
 
+int FlowFabric::choose_way(int src_node, int dst_node) const {
+  const int ways = topo_.ecmp_ways;
+  const int start = ecmp_way(src_node, dst_node, ways);
+  if (down_links_ == 0) return start;  // bit-identical pristine fast path
+  const int src_leaf = src_node / topo_.nodes_per_leaf;
+  const int dst_leaf = dst_node / topo_.nodes_per_leaf;
+  for (int k = 0; k < ways; ++k) {
+    const int w = (start + k) % ways;
+    if (!links_[static_cast<std::size_t>(leaf_uplink(src_leaf, w))].down &&
+        !links_[static_cast<std::size_t>(leaf_downlink(dst_leaf, w))].down) {
+      return w;
+    }
+  }
+  DPML_CHECK_MSG(false, "no live ECMP way between leaf " +
+                            std::to_string(src_leaf) + " and leaf " +
+                            std::to_string(dst_leaf));
+  return start;
+}
+
+void FlowFabric::set_way_down(int leaf, int way, bool down) {
+  DPML_CHECK(way >= 0 && way < topo_.ecmp_ways);
+  DPML_CHECK(leaf == kAllLeaves || (leaf >= 0 && leaf < topo_.leaves));
+  const sim::Time now = engine_.now();
+  advance(now);
+  const int lo = (leaf == kAllLeaves) ? 0 : leaf;
+  const int hi = (leaf == kAllLeaves) ? topo_.leaves - 1 : leaf;
+  for (int l = lo; l <= hi; ++l) {
+    links_[static_cast<std::size_t>(leaf_uplink(l, way))].down = down;
+    links_[static_cast<std::size_t>(leaf_downlink(l, way))].down = down;
+  }
+  down_links_ = 0;
+  for (const Link& l : links_) {
+    if (l.down) ++down_links_;
+  }
+  // Reroute every live core-crossing flow from its stored endpoints.
+  // Recomputing from scratch (rather than only moving flows off dead ways)
+  // also rebalances flows back onto recovered ways, so recovery restores
+  // the exact pristine routing.
+  for (auto& [id, f] : flows_) {
+    (void)id;
+    if (f.nlinks != 4) continue;
+    const int w = choose_way(f.src, f.dst);
+    f.links[1] = leaf_uplink(f.src / topo_.nodes_per_leaf, w);
+    f.links[2] = leaf_downlink(f.dst / topo_.nodes_per_leaf, w);
+  }
+  recompute(now);
+  reschedule(now);
+}
+
+bool FlowFabric::way_down(int leaf, int way) const {
+  return links_[static_cast<std::size_t>(leaf_uplink(leaf, way))].down;
+}
+
+void FlowFabric::enable_group_accounting(int num_groups) {
+  DPML_CHECK(num_groups >= 1);
+  group_bytes_.assign(static_cast<std::size_t>(num_groups),
+                      std::vector<double>(links_.size(), 0.0));
+}
+
+void FlowFabric::set_node_group(int node, int group) {
+  DPML_CHECK(node >= 0 && node < topo_.nodes);
+  DPML_CHECK(group >= 0);
+  if (node_group_.empty()) {
+    node_group_.assign(static_cast<std::size_t>(topo_.nodes), 0);
+  }
+  node_group_[static_cast<std::size_t>(node)] = group;
+}
+
+int FlowFabric::node_group(int node) const {
+  DPML_CHECK(node >= 0 && node < topo_.nodes);
+  return node_group_.empty() ? 0 : node_group_[static_cast<std::size_t>(node)];
+}
+
+double FlowFabric::link_group_bytes(int link, int group) const {
+  if (group < 0 || static_cast<std::size_t>(group) >= group_bytes_.size()) {
+    return 0.0;
+  }
+  const auto& row = group_bytes_[static_cast<std::size_t>(group)];
+  if (link < 0 || static_cast<std::size_t>(link) >= row.size()) return 0.0;
+  return row[static_cast<std::size_t>(link)];
+}
+
 FlowFabric::FlowId FlowFabric::start_flow(int src_node, int dst_node,
                                           std::uint64_t bytes,
                                           double rate_cap_gbps,
-                                          Completion done) {
+                                          Completion done, int group) {
   DPML_CHECK_MSG(src_node != dst_node, "fabric flows are inter-node");
   const int src_leaf = src_node / topo_.nodes_per_leaf;
   const int dst_leaf = dst_node / topo_.nodes_per_leaf;
@@ -156,19 +238,21 @@ FlowFabric::FlowId FlowFabric::start_flow(int src_node, int dst_node,
   int n = 0;
   path[n++] = uplink(src_node);
   if (src_leaf != dst_leaf) {
-    const int way = ecmp_way(src_node, dst_node, topo_.ecmp_ways);
+    const int way = choose_way(src_node, dst_node);
     path[n++] = leaf_uplink(src_leaf, way);
     path[n++] = leaf_downlink(dst_leaf, way);
   }
   path[n++] = downlink(dst_node);
-  return launch(path, n, bytes, rate_cap_gbps, std::move(done));
+  return launch(path, n, bytes, rate_cap_gbps, std::move(done), src_node,
+                dst_node, group);
 }
 
 FlowFabric::FlowId FlowFabric::start_uplink_flow(int node, std::uint64_t bytes,
                                                  double rate_cap_gbps,
                                                  Completion done) {
   const int path[1] = {uplink(node)};
-  return launch(path, 1, bytes, rate_cap_gbps, std::move(done));
+  return launch(path, 1, bytes, rate_cap_gbps, std::move(done), node, -1,
+                kAutoGroup);
 }
 
 FlowFabric::FlowId FlowFabric::start_downlink_flow(int node,
@@ -176,12 +260,14 @@ FlowFabric::FlowId FlowFabric::start_downlink_flow(int node,
                                                    double rate_cap_gbps,
                                                    Completion done) {
   const int path[1] = {downlink(node)};
-  return launch(path, 1, bytes, rate_cap_gbps, std::move(done));
+  return launch(path, 1, bytes, rate_cap_gbps, std::move(done), node, -1,
+                kAutoGroup);
 }
 
 FlowFabric::FlowId FlowFabric::launch(const int* links, int nlinks,
                                       std::uint64_t bytes,
-                                      double rate_cap_gbps, Completion done) {
+                                      double rate_cap_gbps, Completion done,
+                                      int src, int dst, int group) {
   DPML_CHECK(rate_cap_gbps > 0.0);
   const sim::Time now = engine_.now();
   const FlowId id = next_id_++;
@@ -195,6 +281,9 @@ FlowFabric::FlowId FlowFabric::launch(const int* links, int nlinks,
   Flow f;
   for (int i = 0; i < nlinks; ++i) f.links[i] = links[i];
   f.nlinks = nlinks;
+  f.src = src;
+  f.dst = dst;
+  f.group = (group == kAutoGroup) ? node_group(src) : group;
   f.remaining = static_cast<double>(bytes);
   f.cap = to_bps(rate_cap_gbps);
   f.done = std::move(done);
@@ -224,7 +313,15 @@ void FlowFabric::advance(sim::Time now) {
   const double dt_s = sim::to_seconds(dt);
   for (auto& [id, f] : flows_) {
     (void)id;
-    f.remaining = std::max(0.0, f.remaining - f.rate * dt_s);
+    const double drained = std::min(f.remaining, f.rate * dt_s);
+    f.remaining -= drained;
+    if (!group_bytes_.empty() &&
+        static_cast<std::size_t>(f.group) < group_bytes_.size()) {
+      auto& row = group_bytes_[static_cast<std::size_t>(f.group)];
+      for (int i = 0; i < f.nlinks; ++i) {
+        row[static_cast<std::size_t>(f.links[i])] += drained;
+      }
+    }
   }
   for (Link& l : links_) {
     if (l.cap > 0.0 && l.load > 0.0) {

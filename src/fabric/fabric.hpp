@@ -100,6 +100,34 @@ class FlowFabric {
   // way indexes the source leaf's uplink and the destination leaf's
   // downlink (both attach to the same core switch).
   static int ecmp_way(int src_node, int dst_node, int ways);
+  // ECMP with failures: starts at ecmp_way and linearly probes to the first
+  // way whose source-leaf uplink and destination-leaf downlink are both
+  // live. Equals ecmp_way when nothing is down (bit-identical fast path).
+  int choose_way(int src_node, int dst_node) const;
+
+  // ---- Failure and recovery (multi-tenant fabric) ----
+  // Mark one leaf's ECMP way — or, with leaf == kAllLeaves, core switch
+  // `way` across every leaf — down or back up. Takes effect immediately:
+  // live core-crossing flows are deterministically rerouted onto surviving
+  // ways (and rebalanced back on recovery) and rescheduled through the
+  // generation counter. Edge (node<->leaf) links never fail in this model.
+  static constexpr int kAllLeaves = -1;
+  void set_way_down(int leaf, int way, bool down);
+  bool way_down(int leaf, int way) const;
+
+  // ---- Tenant attribution ----
+  // Flows carry a group id (a tenant job, or the background-traffic class);
+  // when accounting is enabled, delivered bytes are attributed per
+  // (link, group). kAutoGroup resolves to the source node's group (set via
+  // set_node_group; default group 0), so existing call sites attribute
+  // correctly without changes.
+  static constexpr int kAutoGroup = -1;
+  void enable_group_accounting(int num_groups);
+  void set_node_group(int node, int group);
+  int node_group(int node) const;
+  // Bytes delivered over `link` on behalf of `group` (0 when accounting is
+  // off or the pair is out of range).
+  double link_group_bytes(int link, int group) const;
 
   // ---- Flows ----
   // Start a flow of `bytes` from src_node to dst_node, rate-capped at
@@ -107,7 +135,8 @@ class FlowFabric {
   // pairwise perturbation scale). Must be called at the engine's current
   // time. Zero-byte flows complete immediately (same instant, later event).
   FlowId start_flow(int src_node, int dst_node, std::uint64_t bytes,
-                    double rate_cap_gbps, Completion done);
+                    double rate_cap_gbps, Completion done,
+                    int group = kAutoGroup);
   // Single-leg flows for in-network aggregation traffic: node->leaf only
   // (SHArP upload) and leaf->node only (SHArP multicast download).
   FlowId start_uplink_flow(int node, std::uint64_t bytes, double rate_cap_gbps,
@@ -156,11 +185,15 @@ class FlowFabric {
     double busy_integral = 0.0;   // sum of utilization * dt (picoseconds)
     sim::Time cong_since = -1;    // open congestion interval, -1 when none
     sim::Time cong_time = 0;      // closed congested picoseconds
+    bool down = false;            // failed ECMP way (carries no flows)
   };
 
   struct Flow {
     int links[4] = {0, 0, 0, 0};
     int nlinks = 0;
+    int src = -1;            // endpoints, kept for failure rerouting
+    int dst = -1;
+    int group = 0;           // tenant attribution class
     double remaining = 0.0;  // bytes left on the wire
     double rate = 0.0;       // bytes/s
     double cap = 0.0;        // bytes/s rate ceiling
@@ -170,7 +203,8 @@ class FlowFabric {
 
   int add_link(std::string name, int node, double gbps);
   FlowId launch(const int* links, int nlinks, std::uint64_t bytes,
-                double rate_cap_gbps, Completion done);
+                double rate_cap_gbps, Completion done, int src, int dst,
+                int group);
   // Drain bytes and accumulate link statistics over [last_, now].
   void advance(sim::Time now);
   // Progressive-filling max-min fair allocation over the live flows.
@@ -187,6 +221,9 @@ class FlowFabric {
   FlowId next_id_ = 0;
   sim::Time last_ = 0;  // time up to which advance() has accounted
   double peak_util_ = 0.0;
+  int down_links_ = 0;  // live count of down links (choose_way fast path)
+  std::vector<int> node_group_;                  // empty => every node group 0
+  std::vector<std::vector<double>> group_bytes_; // [group][link] delivered
   std::function<double(int, sim::Time)> capacity_scaler_;
   std::function<void(int, sim::Time, sim::Time)> congestion_cb_;
 };

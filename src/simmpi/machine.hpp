@@ -304,6 +304,7 @@ class Machine {
       cs.oversubscription = cfg_.oversubscription;
       cs.max_link_util = std::max(
           cs.max_link_util, fabric_->max_avg_link_utilization(engine_.now()));
+      cs.fabric_flows = fabric_->total_flows();
     }
   }
 

@@ -30,6 +30,7 @@ struct CollectiveStats {
   bool fabric_links = false;
   double oversubscription = 1.0;
   double max_link_util = 0.0;
+  std::uint64_t fabric_flows = 0;  // flows launched on the machine so far
 };
 
 // Per-(collective kind, algorithm label) arrival/departure imbalance, the

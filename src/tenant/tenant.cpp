@@ -1,0 +1,560 @@
+// TenantSim: N concurrent collective jobs, background traffic, and failure
+// events on one shared machine (docs/MODEL.md §11).
+#include "tenant/tenant.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <memory>
+
+#include "core/api.hpp"
+#include "core/executor.hpp"
+#include "sharp/sharp.hpp"
+#include "sim/sync.hpp"
+#include "simmpi/machine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpml::tenant {
+
+namespace {
+
+// Purpose constants for the repo-wide (seed, purpose, rank, op) derivation
+// scheme (util/rng.hpp); perturb uses 1..3.
+constexpr std::uint64_t kPurposeStagger = 17;
+constexpr std::uint64_t kPurposeTraffic = 18;
+
+// Open-loop background flow generator: one seeded arrival chain per source
+// node, injecting matrix-chosen point-to-point flows until stopped. Lives
+// on the stack across the (synchronous) Machine::run call.
+class BgGen {
+ public:
+  BgGen(sim::Engine& engine, fabric::FlowFabric& ff, const TrafficSpec& spec,
+        int nodes, int group, double rate_cap_gbps)
+      : engine_(engine),
+        ff_(ff),
+        spec_(spec),
+        nodes_(nodes),
+        group_(group),
+        rate_cap_gbps_(rate_cap_gbps),
+        mean_gap_s_(static_cast<double>(spec.bytes) /
+                    (spec.load * rate_cap_gbps * 1e9)) {
+    const std::uint64_t purpose =
+        util::SplitMix64(spec.seed, kPurposeTraffic).next_u64();
+    rng_.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      rng_.emplace_back(purpose, static_cast<std::uint64_t>(n));
+    }
+    shift_ = spec.shift;
+    if (spec.matrix == Matrix::permutation && shift_ == 0) {
+      // One seeded shift shared by every source (a true permutation).
+      shift_ = 1 + static_cast<int>(util::SplitMix64(purpose, 0xffffffffULL)
+                                        .next_below(
+                                            static_cast<std::uint64_t>(
+                                                std::max(1, nodes - 1))));
+    }
+  }
+
+  void start() {
+    for (int src = 0; src < nodes_; ++src) schedule_next(src);
+  }
+  void stop() { stopped_ = true; }
+  std::uint64_t flows() const { return flows_; }
+
+ private:
+  void schedule_next(int src) {
+    const double jitter = 0.5 + rng_[static_cast<std::size_t>(src)]
+                                    .next_double();
+    const sim::Time at =
+        engine_.now() + std::max<sim::Time>(
+                            1, sim::from_seconds(mean_gap_s_ * jitter));
+    engine_.schedule_call(at, [this, src]() {
+      if (stopped_) return;
+      inject(src);
+      schedule_next(src);
+    });
+  }
+
+  int pick_dst(int src) {
+    util::SplitMix64& r = rng_[static_cast<std::size_t>(src)];
+    switch (spec_.matrix) {
+      case Matrix::permutation:
+        return (src + shift_) % nodes_;
+      case Matrix::hotspot: {
+        const double u = r.next_double();
+        const int hot = spec_.hot_node % nodes_;
+        if (u < spec_.hot_frac && hot != src) return hot;
+        break;
+      }
+      case Matrix::uniform:
+      case Matrix::none:
+        break;
+    }
+    // Uniform over the other nodes.
+    int d = static_cast<int>(
+        r.next_below(static_cast<std::uint64_t>(nodes_ - 1)));
+    if (d >= src) ++d;
+    return d;
+  }
+
+  void inject(int src) {
+    const int dst = pick_dst(src);
+    if (dst == src) return;  // degenerate permutation shift
+    ++flows_;
+    ff_.start_flow(src, dst, spec_.bytes, rate_cap_gbps_,
+                   [](sim::Time) {}, group_);
+  }
+
+  sim::Engine& engine_;
+  fabric::FlowFabric& ff_;
+  TrafficSpec spec_;
+  int nodes_;
+  int group_;
+  double rate_cap_gbps_;
+  double mean_gap_s_;
+  int shift_ = 0;
+  bool stopped_ = false;
+  std::uint64_t flows_ = 0;
+  std::vector<util::SplitMix64> rng_;
+};
+
+// Per-iteration arrival aggregation for stall accounting: once every party
+// has arrived, the iteration contributed parties*max - sum of waiting.
+struct IterAgg {
+  int count = 0;
+  sim::Time sum = 0;
+  sim::Time max = 0;
+};
+
+struct JobState {
+  std::vector<IterAgg> iters;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  sim::Time stall = 0;
+  int done_ranks = 0;
+};
+
+// One simulation outcome (the shared run, or job `only_job` running solo).
+struct RunOut {
+  std::vector<double> start_us;
+  std::vector<double> end_us;
+  std::vector<double> stall_us;
+  std::vector<double> link_share;
+  double makespan_us = 0.0;
+  std::uint64_t events = 0;
+  double max_link_util = 0.0;
+  double peak_link_util = 0.0;
+  std::uint64_t flows = 0;
+  std::uint64_t bg_flows = 0;
+  std::string hot_link;
+  double hot_link_bg_share = 0.0;
+};
+
+std::size_t job_count(const JobSpec& j) {
+  // Element count for the collective call; alltoall interprets bytes as the
+  // per-destination block, matching measure_collective's convention.
+  return j.bytes / simmpi::dtype_size(simmpi::Dtype::f32);
+}
+
+// Everything the per-rank coroutine touches. Machine::run is synchronous,
+// so the pointed-to locals of simulate() outlive every frame; the struct
+// travels by shared_ptr so the lambda handed to run stays a plain function
+// and no coroutine captures by reference.
+struct RankCtx {
+  const std::vector<JobSpec>* jobs = nullptr;
+  const std::vector<int>* node_job = nullptr;
+  const std::vector<sim::Time>* starts = nullptr;
+  std::vector<JobState>* state = nullptr;
+  std::deque<sim::Barrier>* barriers = nullptr;
+  std::vector<const simmpi::Comm*>* comms = nullptr;
+  std::vector<const sharp::Group*>* groups = nullptr;
+  sharp::SharpFabric* sf = nullptr;
+  sim::Engine* engine = nullptr;
+  BgGen* bg = nullptr;
+  bool shared = true;
+  int only_job = -1;
+  int ppn = 1;
+  int active_jobs = 0;
+  int jobs_done = 0;
+};
+
+sim::CoTask<void> tenant_rank(simmpi::Rank& r, std::shared_ptr<RankCtx> c) {
+  const int j = (*c->node_job)[static_cast<std::size_t>(r.node_id())];
+  if (j < 0 || (!c->shared && j != c->only_job)) co_return;
+  const JobSpec& spec = (*c->jobs)[static_cast<std::size_t>(j)];
+  JobState& st = (*c->state)[static_cast<std::size_t>(j)];
+  const int parties = spec.nodes * c->ppn;
+  co_await c->engine->until((*c->starts)[static_cast<std::size_t>(j)]);
+  st.start = (*c->starts)[static_cast<std::size_t>(j)];
+  for (int it = 0; it < spec.iterations; ++it) {
+    IterAgg& agg = st.iters[static_cast<std::size_t>(it)];
+    const sim::Time now = c->engine->now();
+    ++agg.count;
+    agg.sum += now;
+    agg.max = std::max(agg.max, now);
+    if (agg.count == parties) {
+      st.stall += static_cast<sim::Time>(parties) * agg.max - agg.sum;
+    }
+    co_await (*c->barriers)[static_cast<std::size_t>(j)].arrive_and_wait();
+    if (spec.sharp) {
+      co_await c->sf->allreduce(r, *(*c->groups)[static_cast<std::size_t>(j)],
+                                job_count(spec), simmpi::Dtype::f32,
+                                simmpi::ReduceOp::sum, {}, {});
+    } else {
+      coll::CollArgs args;
+      args.rank = &r;
+      args.comm = (*c->comms)[static_cast<std::size_t>(j)];
+      args.count = job_count(spec);
+      args.dt = simmpi::Dtype::f32;
+      args.op = simmpi::ReduceOp::sum;
+      coll::CollSpec cspec;
+      cspec.algo = spec.algo;
+      cspec.leaders = spec.leaders;
+      co_await core::run_collective(spec.kind, args, cspec);
+    }
+  }
+  st.end = std::max(st.end, c->engine->now());
+  if (++st.done_ranks == parties) {
+    if (++c->jobs_done == c->active_jobs && c->bg) c->bg->stop();
+  }
+  co_return;
+}
+
+RunOut simulate(const net::ClusterConfig& cfg, int ppn,
+                const std::vector<JobSpec>& jobs, const TenantOptions& opt,
+                int only_job) {
+  const int njobs = static_cast<int>(jobs.size());
+  const bool shared = only_job < 0;
+  int total_nodes = 0;
+  for (const JobSpec& j : jobs) total_nodes += j.nodes;
+
+  simmpi::RunOptions ro;
+  ro.with_data = false;
+  ro.seed = opt.seed;
+  ro.perturb = opt.perturb;
+  ro.fabric_level = opt.fabric;
+  ro.data_mode = opt.data_mode;
+  ro.scheduler = opt.scheduler;
+  simmpi::Machine machine(cfg, total_nodes, ppn, ro);
+  sim::Engine& engine = machine.engine();
+  const bool tracing = shared && !opt.trace_json.empty();
+  if (tracing) machine.enable_trace();
+
+  // Block placement: job j owns nodes [bases[j], bases[j] + nodes).
+  std::vector<int> bases(static_cast<std::size_t>(njobs), 0);
+  std::vector<int> node_job(static_cast<std::size_t>(total_nodes), -1);
+  {
+    int base = 0;
+    for (int j = 0; j < njobs; ++j) {
+      bases[static_cast<std::size_t>(j)] = base;
+      for (int n = 0; n < jobs[static_cast<std::size_t>(j)].nodes; ++n) {
+        node_job[static_cast<std::size_t>(base + n)] = j;
+      }
+      base += jobs[static_cast<std::size_t>(j)].nodes;
+    }
+  }
+
+  fabric::FlowFabric* ff = machine.flow_fabric();
+  if (shared && ff != nullptr) {
+    // Groups 0..njobs-1 are the jobs; group njobs is background traffic.
+    ff->enable_group_accounting(njobs + 1);
+    for (int n = 0; n < total_nodes; ++n) {
+      if (node_job[static_cast<std::size_t>(n)] >= 0) {
+        ff->set_node_group(n, node_job[static_cast<std::size_t>(n)]);
+      }
+    }
+  }
+
+  // One SharpFabric shared by every SHArP job: op slots and group budget
+  // genuinely contend across tenants.
+  std::unique_ptr<sharp::SharpFabric> sf;
+  std::vector<const sharp::Group*> groups(static_cast<std::size_t>(njobs),
+                                          nullptr);
+  std::vector<const simmpi::Comm*> comms(static_cast<std::size_t>(njobs),
+                                         nullptr);
+  std::deque<sim::Barrier> barriers;
+  std::vector<JobState> state(static_cast<std::size_t>(njobs));
+  for (int j = 0; j < njobs; ++j) {
+    const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
+    const bool active = shared || j == only_job;
+    std::vector<int> ranks;
+    for (int n = 0; n < spec.nodes; ++n) {
+      for (int p = 0; p < ppn; ++p) {
+        ranks.push_back((bases[static_cast<std::size_t>(j)] + n) * ppn + p);
+      }
+    }
+    const int parties = static_cast<int>(ranks.size());
+    barriers.emplace_back(engine, active ? parties : 1);
+    state[static_cast<std::size_t>(j)].iters.resize(
+        static_cast<std::size_t>(spec.iterations));
+    if (!active) continue;
+    if (spec.sharp) {
+      if (!sf) sf = std::make_unique<sharp::SharpFabric>(machine);
+      groups[static_cast<std::size_t>(j)] = &sf->create_group(ranks);
+    } else {
+      comms[static_cast<std::size_t>(j)] = &machine.make_comm(ranks);
+    }
+  }
+
+  // Seeded start stagger (shared run only; solo baselines start at 0 —
+  // makespans are measured from each job's own start, so the stagger does
+  // not bias the slowdown ratio).
+  std::vector<sim::Time> starts(static_cast<std::size_t>(njobs), 0);
+  if (shared && opt.stagger_max_us > 0.0) {
+    const std::uint64_t purpose =
+        util::SplitMix64(opt.seed, kPurposeStagger).next_u64();
+    for (int j = 0; j < njobs; ++j) {
+      util::SplitMix64 r(purpose, static_cast<std::uint64_t>(j));
+      starts[static_cast<std::size_t>(j)] =
+          sim::us(r.next_double() * opt.stagger_max_us);
+    }
+  }
+
+  std::unique_ptr<BgGen> bg;
+  if (shared && !opt.traffic.empty()) {
+    DPML_CHECK(ff != nullptr);  // validated in run_tenants
+    bg = std::make_unique<BgGen>(engine, *ff, opt.traffic, total_nodes, njobs,
+                                 cfg.nic.link_bw);
+    bg->start();
+  }
+  if (shared && !opt.failures.empty()) {
+    DPML_CHECK(ff != nullptr);
+    for (const FailSpec::Event& e : opt.failures.events) {
+      engine.schedule_call(sim::us(e.at_us), [ff, e]() {
+        ff->set_way_down(e.leaf, e.way, true);
+      });
+      if (e.recover_us > 0.0) {
+        engine.schedule_call(sim::us(e.recover_us), [ff, e]() {
+          ff->set_way_down(e.leaf, e.way, false);
+        });
+      }
+    }
+  }
+
+  auto ctx = std::make_shared<RankCtx>();
+  ctx->jobs = &jobs;
+  ctx->node_job = &node_job;
+  ctx->starts = &starts;
+  ctx->state = &state;
+  ctx->barriers = &barriers;
+  ctx->comms = &comms;
+  ctx->groups = &groups;
+  ctx->sf = sf.get();
+  ctx->engine = &engine;
+  ctx->bg = bg.get();
+  ctx->shared = shared;
+  ctx->only_job = only_job;
+  ctx->ppn = ppn;
+  for (int j = 0; j < njobs; ++j) {
+    if (shared || j == only_job) ++ctx->active_jobs;
+  }
+
+  machine.run(
+      [ctx](simmpi::Rank& r) { return tenant_rank(r, ctx); });
+
+  const sim::Time endt = machine.now();
+  RunOut out;
+  out.events = machine.engine().events_processed();
+  out.start_us.resize(static_cast<std::size_t>(njobs), 0.0);
+  out.end_us.resize(static_cast<std::size_t>(njobs), 0.0);
+  out.stall_us.resize(static_cast<std::size_t>(njobs), 0.0);
+  out.link_share.resize(static_cast<std::size_t>(njobs), 0.0);
+  double run_end = 0.0;
+  for (int j = 0; j < njobs; ++j) {
+    const JobState& st = state[static_cast<std::size_t>(j)];
+    out.start_us[static_cast<std::size_t>(j)] = sim::to_us(st.start);
+    out.end_us[static_cast<std::size_t>(j)] = sim::to_us(st.end);
+    out.stall_us[static_cast<std::size_t>(j)] = sim::to_us(st.stall);
+    run_end = std::max(run_end, sim::to_us(st.end));
+  }
+  out.makespan_us = run_end;
+  if (ff != nullptr) {
+    out.max_link_util = ff->max_avg_link_utilization(endt);
+    out.peak_link_util = ff->peak_link_utilization();
+    out.flows = ff->total_flows();
+    out.bg_flows = bg ? bg->flows() : 0;
+    if (shared) {
+      int hot = 0;
+      double hot_util = -1.0;
+      for (int l = 0; l < ff->num_links(); ++l) {
+        const double u = ff->link_avg_utilization(l, endt);
+        if (u > hot_util) {
+          hot_util = u;
+          hot = l;
+        }
+      }
+      out.hot_link = ff->link_name(hot);
+      double total = 0.0;
+      for (int g = 0; g <= njobs; ++g) total += ff->link_group_bytes(hot, g);
+      if (total > 0.0) {
+        for (int j = 0; j < njobs; ++j) {
+          out.link_share[static_cast<std::size_t>(j)] =
+              ff->link_group_bytes(hot, j) / total;
+        }
+        out.hot_link_bg_share = ff->link_group_bytes(hot, njobs) / total;
+      }
+    }
+  }
+
+  if (tracing) {
+    // Relabel the rank lanes per job so the viewer groups tenants.
+    for (int n = 0; n < total_nodes; ++n) {
+      const int j = node_job[static_cast<std::size_t>(n)];
+      if (j < 0) continue;
+      for (int p = 0; p < ppn; ++p) {
+        const int w = n * ppn + p;
+        const int jr = (n - bases[static_cast<std::size_t>(j)]) * ppn + p;
+        machine.tracer().set_thread_name(
+            w, jobs[static_cast<std::size_t>(j)].name + " rank " +
+                   std::to_string(jr) + " (node " + std::to_string(n) + ")");
+      }
+    }
+    std::ofstream os(opt.trace_json);
+    DPML_CHECK_MSG(os.good(), "cannot write trace file " + opt.trace_json);
+    machine.tracer().write_chrome_json(os);
+  }
+  return out;
+}
+
+void validate(const net::ClusterConfig& cfg, int ppn,
+              const std::vector<JobSpec>& jobs, const TenantOptions& opt) {
+  DPML_CHECK_MSG(!jobs.empty(), "tenant mix needs at least one job");
+  DPML_CHECK_MSG(ppn >= 1, "tenant ppn must be >= 1");
+  int total_nodes = 0;
+  for (const JobSpec& j : jobs) {
+    DPML_CHECK_MSG(j.nodes >= 1, "job '" + j.name + "' needs >= 1 node");
+    DPML_CHECK_MSG(j.iterations >= 1,
+                   "job '" + j.name + "' needs >= 1 iteration");
+    total_nodes += j.nodes;
+  }
+  DPML_CHECK_MSG(total_nodes <= cfg.total_nodes,
+                 "tenant mix wants " + std::to_string(total_nodes) +
+                     " nodes; cluster '" + cfg.name + "' has " +
+                     std::to_string(cfg.total_nodes));
+  for (const JobSpec& j : jobs) {
+    if (j.sharp) {
+      DPML_CHECK_MSG(cfg.sharp.has_value(),
+                     "job '" + j.name + "' wants SHArP but cluster '" +
+                         cfg.name + "' has no switch aggregation");
+      DPML_CHECK_MSG(j.kind == coll::CollKind::allreduce,
+                     "SHArP tenant jobs support allreduce only");
+      DPML_CHECK_MSG(j.bytes <= cfg.sharp->max_payload,
+                     "job '" + j.name + "' payload exceeds the SHArP limit");
+      continue;
+    }
+    const coll::CollDescriptor& d =
+        coll::CollRegistry::instance().at(j.kind, j.algo);
+    DPML_CHECK_MSG(!d.caps.world_only,
+                   "job '" + j.name + "': algorithm '" + j.algo +
+                       "' is world-only (hierarchical designs assume they "
+                       "own the machine); pick a flat algorithm");
+    DPML_CHECK_MSG(!d.caps.needs_fabric,
+                   "job '" + j.name + "': use sharp=true for in-network "
+                       "aggregation jobs");
+    DPML_CHECK_MSG(j.nodes * ppn >= d.caps.min_comm_size,
+                   "job '" + j.name + "' is too small for '" + j.algo + "'");
+    DPML_CHECK_MSG(j.bytes > 0 || j.kind == coll::CollKind::barrier,
+                   "job '" + j.name + "' needs a payload");
+  }
+  const bool wants_fabric_features =
+      !opt.traffic.empty() || !opt.failures.empty();
+  DPML_CHECK_MSG(!wants_fabric_features ||
+                     opt.fabric == fabric::FabricLevel::links,
+                 "--bg-traffic and --fail-links need the flow fabric "
+                 "(--fabric)");
+  if (!opt.traffic.empty()) {
+    DPML_CHECK_MSG(total_nodes >= 2,
+                   "background traffic needs at least two nodes");
+    if (opt.traffic.matrix == Matrix::hotspot) {
+      // The generator is open-loop: if the aggregate demand aimed at the
+      // hot node exceeds its edge link, the backlog grows without bound and
+      // co-located jobs starve — the run would never terminate.
+      const double hot_demand = opt.traffic.load * opt.traffic.hot_frac *
+                                static_cast<double>(total_nodes - 1);
+      DPML_CHECK_MSG(
+          hot_demand < 1.0,
+          "hotspot background overloads the hot node's edge link: load * "
+          "hot_frac * (nodes - 1) = " + std::to_string(hot_demand) +
+              " >= 1; lower load or hot_frac");
+      DPML_CHECK_MSG(opt.traffic.hot_node < total_nodes,
+                     "hotspot hot_node out of range");
+    }
+  }
+  if (!opt.failures.empty()) {
+    const fabric::FabricTopo topo = fabric::FabricTopo::derive(cfg,
+                                                               total_nodes);
+    DPML_CHECK_MSG(topo.ecmp_ways >= 2,
+                   "cannot fail an ECMP way: the derived fabric has only "
+                   "one way per leaf");
+    for (const FailSpec::Event& e : opt.failures.events) {
+      DPML_CHECK_MSG(e.way < topo.ecmp_ways,
+                     "--fail-links way " + std::to_string(e.way) +
+                         " out of range (fabric has " +
+                         std::to_string(topo.ecmp_ways) + " ways)");
+      DPML_CHECK_MSG(e.leaf < topo.leaves,
+                     "--fail-links leaf " + std::to_string(e.leaf) +
+                         " out of range (fabric has " +
+                         std::to_string(topo.leaves) + " leaves)");
+    }
+  }
+}
+
+}  // namespace
+
+TenantResult run_tenants(const net::ClusterConfig& cfg, int ppn,
+                         const std::vector<JobSpec>& jobs,
+                         const TenantOptions& opt) {
+  validate(cfg, ppn, jobs, opt);
+  const int njobs = static_cast<int>(jobs.size());
+
+  // Slot 0 is the shared run; slots 1..njobs are the per-job solo
+  // baselines. Each slot is an independent deterministic simulation, so the
+  // executor fan-out is byte-identical for any host thread count.
+  const std::size_t runs =
+      opt.solo_baseline ? static_cast<std::size_t>(1 + njobs) : 1;
+  core::Executor ex(opt.jobs);
+  std::vector<RunOut> outs = ex.map<RunOut>(runs, [&](std::size_t i) {
+    return simulate(cfg, ppn, jobs, opt, static_cast<int>(i) - 1);
+  });
+
+  const RunOut& sh = outs[0];
+  TenantResult res;
+  res.makespan_us = sh.makespan_us;
+  res.events = sh.events;
+  res.max_link_util = sh.max_link_util;
+  res.peak_link_util = sh.peak_link_util;
+  res.flows = sh.flows;
+  res.bg_flows = sh.bg_flows;
+  res.hot_link = sh.hot_link;
+  res.hot_link_bg_share = sh.hot_link_bg_share;
+  for (int j = 0; j < njobs; ++j) {
+    const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
+    JobStats s;
+    s.name = spec.name;
+    s.kind = coll::coll_kind_name(spec.kind);
+    s.algo = spec.sharp ? "sharp" : spec.algo;
+    s.nodes = spec.nodes;
+    s.ranks = spec.nodes * ppn;
+    s.bytes = spec.bytes;
+    s.iterations = spec.iterations;
+    s.start_us = sh.start_us[static_cast<std::size_t>(j)];
+    s.end_us = sh.end_us[static_cast<std::size_t>(j)];
+    s.makespan_us = s.end_us - s.start_us;
+    if (s.makespan_us > 0.0) {
+      s.goodput_gbps = static_cast<double>(spec.bytes) * spec.iterations /
+                       (s.makespan_us * 1e-6) / 1e9;
+    }
+    s.stall_us = sh.stall_us[static_cast<std::size_t>(j)];
+    s.link_share = sh.link_share[static_cast<std::size_t>(j)];
+    if (opt.solo_baseline) {
+      const RunOut& solo = outs[static_cast<std::size_t>(1 + j)];
+      s.solo_us = solo.end_us[static_cast<std::size_t>(j)] -
+                  solo.start_us[static_cast<std::size_t>(j)];
+      if (s.solo_us > 0.0) s.slowdown = s.makespan_us / s.solo_us;
+    }
+    res.jobs.push_back(std::move(s));
+  }
+  return res;
+}
+
+}  // namespace dpml::tenant

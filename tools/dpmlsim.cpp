@@ -40,6 +40,7 @@
 #include "perturb/spec.hpp"
 #include "net/cluster.hpp"
 #include "sim/dataplane.hpp"
+#include "tenant/tenant.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -104,6 +105,25 @@ int usage() {
       "              --perf-json FILE  (write the sweep's aggregate perf\n"
       "                counters as JSON, for trajectory diffs against the\n"
       "                checked-in BENCH_perf.json snapshot)\n"
+      "              --tenants N  (multi-tenant fabric run: N concurrent\n"
+      "                collective jobs block-placed over the cluster, one\n"
+      "                shared max-min fabric arbitrating contention; reports\n"
+      "                per-job goodput, slowdown vs solo, stall time, and\n"
+      "                hot-link byte attribution. Implies --fabric unless\n"
+      "                overridden. See docs/MODEL.md §11)\n"
+      "              --bg-traffic [SPEC]  (seeded background flows, e.g.\n"
+      "                \"uniform:load=0.3,bytes=64K\" or \"hotspot:"
+      "hot_frac=0.8\"\n"
+      "                or \"permutation:shift=3\"; bare flag means uniform\n"
+      "                defaults. Tenant runs only)\n"
+      "              --fail-links [SPEC]  (scheduled ECMP-way failures, e.g.\n"
+      "                \"way=0,at_us=30,recover_us=150;way=1,leaf=0,"
+      "at_us=60\";\n"
+      "                bare flag fails core switch 0 at 30us, recovers at\n"
+      "                150us. Live flows reroute deterministically)\n"
+      "              --stagger-us X --tenant-iters N --trace-json FILE\n"
+      "                (tenant start-offset bound, per-job iteration\n"
+      "                override, Chrome trace of the shared run)\n"
       "              --list-algorithms  (print the collective registry)\n"
       "              --list-clusters  (print presets with derived fabric\n"
       "                link counts and capacities)\n"
@@ -196,6 +216,11 @@ struct PerfAgg {
   double pl_hits = 0.0;
   int rows = 0;
   std::string data_mode = "payload";
+  // Fabric metadata (--fabric runs): machine-diffable alongside the
+  // human-readable max-link-util column.
+  bool fabric = false;
+  double max_link_util = 0.0;
+  std::uint64_t fabric_flows = 0;
 
   void add(const core::MeasureResult& r) {
     events += r.perf.events;
@@ -206,6 +231,11 @@ struct PerfAgg {
     wall_ms += r.perf.wall_ms;
     cb_hits += r.perf.callback_pool_hit_rate;
     pl_hits += r.perf.payload_pool_hit_rate;
+    if (r.fabric_links) {
+      fabric = true;
+      max_link_util = std::max(max_link_util, r.max_link_util);
+      fabric_flows += r.fabric_flows;
+    }
     ++rows;
   }
   double events_per_sec() const {
@@ -234,8 +264,13 @@ struct PerfAgg {
        << "  \"peak_rss_kb\": " << peak_rss_kb << ",\n"
        << "  \"elided_bytes\": " << elided_bytes << ",\n"
        << "  \"callback_pool_hit_rate\": " << cb_hit_rate() << ",\n"
-       << "  \"payload_pool_hit_rate\": " << pl_hit_rate() << ",\n"
-       << "  \"wall_ms\": " << wall_ms << "\n"
+       << "  \"payload_pool_hit_rate\": " << pl_hit_rate() << ",\n";
+    if (fabric) {
+      os << "  \"fabric\": true,\n"
+         << "  \"max_link_util\": " << max_link_util << ",\n"
+         << "  \"fabric_flows\": " << fabric_flows << ",\n";
+    }
+    os << "  \"wall_ms\": " << wall_ms << "\n"
        << "}\n";
     return true;
   }
@@ -637,6 +672,112 @@ int cmd_miniamr(const util::Args& args, const net::ClusterConfig& cfg,
 
 // --mc-replay FILE: re-execute one explored schedule from a dpmlmc
 // counterexample trace (src/mc/). Distinct from the `replay` subcommand,
+// Multi-tenant fabric run (docs/MODEL.md §11): N concurrent jobs on one
+// shared flow fabric, with optional seeded background traffic and scheduled
+// ECMP-way failures.
+int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
+                int nodes, int ppn) {
+  const int njobs = static_cast<int>(args.get_int("tenants", 2));
+  tenant::TenantOptions opt;
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.stagger_max_us = args.get_double("stagger-us", 20.0);
+  opt.perturb = perturb::PerturbSpec::parse(args.get("perturb", ""));
+  if (args.has("fabric")) {
+    const std::string level = args.get("fabric", "");
+    opt.fabric = (level.empty() || level == "true")
+                     ? fabric::FabricLevel::links
+                     : fabric::fabric_level_by_name(level);
+  }
+  if (args.get_bool("time-only", false)) {
+    opt.data_mode = sim::DataMode::timeonly;
+  }
+  if (args.has("scheduler")) {
+    opt.scheduler = sim::scheduler_kind_by_name(args.get("scheduler", "auto"));
+  }
+  if (args.has("bg-traffic")) {
+    const std::string spec = args.get("bg-traffic", "");
+    // Bare "--bg-traffic" parses as the boolean "true": uniform defaults.
+    opt.traffic = (spec.empty() || spec == "true")
+                      ? tenant::TrafficSpec::parse("uniform")
+                      : tenant::TrafficSpec::parse(spec);
+  }
+  if (args.has("fail-links")) {
+    const std::string spec = args.get("fail-links", "");
+    opt.failures = (spec.empty() || spec == "true")
+                       ? tenant::FailSpec::default_spec()
+                       : tenant::FailSpec::parse(spec);
+  }
+  opt.trace_json = args.get("trace-json");
+  std::vector<tenant::JobSpec> jobs = tenant::default_jobs(njobs, cfg, nodes);
+  if (args.has("tenant-iters")) {
+    const int iters = static_cast<int>(args.get_int("tenant-iters", 4));
+    for (tenant::JobSpec& j : jobs) j.iterations = iters;
+  }
+  const tenant::TenantResult r = tenant::run_tenants(cfg, ppn, jobs, opt);
+
+  util::Table t({"job", "kind", "algorithm", "nodes", "ranks", "bytes",
+                 "start (us)", "makespan (us)", "goodput (GB/s)", "solo (us)",
+                 "slowdown", "stall (us)", "hot-link share"});
+  for (const tenant::JobStats& j : r.jobs) {
+    t.row()
+        .cell(j.name)
+        .cell(j.kind)
+        .cell(j.algo)
+        .cell(static_cast<long long>(j.nodes))
+        .cell(static_cast<long long>(j.ranks))
+        .cell(util::format_bytes(j.bytes))
+        .cell(j.start_us, 2)
+        .cell(j.makespan_us, 2)
+        .cell(j.goodput_gbps, 3)
+        .cell(j.solo_us, 2)
+        .cell(j.slowdown, 3)
+        .cell(j.stall_us, 2)
+        .cell(j.link_share, 3);
+  }
+  std::cout << njobs << " tenant job(s) on cluster " << cfg.name << ", "
+            << nodes << " nodes x " << ppn << " ppn";
+  if (!opt.traffic.empty()) {
+    std::cout << "\nbackground: " << opt.traffic.to_string();
+  }
+  if (!opt.failures.empty()) {
+    std::cout << "\nfailures: " << opt.failures.to_string();
+  }
+  std::cout << "\n";
+  t.print(std::cout);
+  std::cout << "shared run: makespan " << r.makespan_us << " us, " << r.events
+            << " events, " << r.flows << " fabric flows (" << r.bg_flows
+            << " background), max avg link util " << r.max_link_util
+            << ", peak " << r.peak_link_util;
+  if (!r.hot_link.empty()) {
+    std::cout << ", hottest link " << r.hot_link << " (bg share "
+              << r.hot_link_bg_share << ")";
+  }
+  std::cout << "\n";
+  const std::string perf_json = args.get("perf-json");
+  if (!perf_json.empty()) {
+    std::ofstream os(perf_json);
+    if (!os) {
+      std::cerr << "cannot write perf json " << perf_json << "\n";
+      return 1;
+    }
+    os << "{\n"
+       << "  \"tool\": \"dpmlsim tenants\",\n"
+       << "  \"tenants\": " << njobs << ",\n"
+       << "  \"jobs\": " << core::default_jobs() << ",\n"
+       << "  \"events\": " << r.events << ",\n"
+       << "  \"makespan_us\": " << r.makespan_us << ",\n"
+       << "  \"fabric\": "
+       << (opt.fabric == fabric::FabricLevel::links ? "true" : "false")
+       << ",\n"
+       << "  \"max_link_util\": " << r.max_link_util << ",\n"
+       << "  \"fabric_flows\": " << r.flows << ",\n"
+       << "  \"bg_flows\": " << r.bg_flows << "\n"
+       << "}\n";
+    std::cout << "perf counters written to " << perf_json << "\n";
+  }
+  return 0;
+}
+
 // which replays an application communication trace.
 int cmd_mc_replay(const std::string& path) {
   mc::ensure_probe_algorithms();
@@ -684,8 +825,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (args.positional().empty()) return usage();
-  const std::string cmd = args.positional()[0];
+  if (args.positional().empty() && !args.has("tenants")) return usage();
   try {
     net::ClusterConfig cfg = net::cluster_by_name(args.get("cluster", "B"));
     const int rails = static_cast<int>(args.get_int("rails", 1));
@@ -700,6 +840,8 @@ int main(int argc, char** argv) {
       cfg = net::with_nodes(std::move(cfg), nodes);
     }
     const int ppn = static_cast<int>(args.get_int("ppn", cfg.max_ppn()));
+    if (args.has("tenants")) return cmd_tenants(args, cfg, nodes, ppn);
+    const std::string cmd = args.positional()[0];
     if (cmd == "latency") return cmd_latency(args, cfg, nodes, ppn);
     if (cmd == "sweep") return cmd_sweep(args, cfg, nodes, ppn);
     if (cmd == "tune") return cmd_tune(args, cfg, nodes, ppn);
