@@ -2,11 +2,14 @@
 """Host-perf trajectory tooling for BENCH_perf.json.
 
 BENCH_perf.json is an append-only array of --perf-json snapshots (one or
-more per PR), each tagged by (tool, data_mode). Two commands:
+more per PR), each tagged by (tool, data_mode, placement, adapt). Two
+commands:
 
   delta  BENCH_perf.json NEW.json [NEW2.json ...]
       Compare each new snapshot against the latest checked-in entry with
-      the same (tool, data_mode). Flags events/sec regressions beyond
+      the same (tool, data_mode, placement, adapt); snapshots without the
+      tenant-only keys default to (block, static), so legacy entries keep
+      their identity. Flags events/sec regressions beyond
       --threshold (default 10%). NEVER gates: wall-clock throughput varies
       wildly across runners, so the exit code is always 0 — the output is
       for humans reading the CI log. Snapshots from tools or entries that
@@ -38,7 +41,11 @@ def as_array(doc):
 
 def key(entry):
     # Legacy entries predate the data plane split and were payload-mode.
-    return (entry.get("tool", "?"), entry.get("data_mode", "payload"))
+    # Tenant snapshots additionally carry placement/adapt: a round-robin
+    # adaptive run is a different workload from a block static one, so only
+    # like-keyed snapshots are comparable.
+    return (entry.get("tool", "?"), entry.get("data_mode", "payload"),
+            entry.get("placement", "block"), bool(entry.get("adapt", False)))
 
 
 def cmd_delta(args):
@@ -50,10 +57,10 @@ def cmd_delta(args):
         new = load(path)
         k = key(new)
         old = baseline.get(k)
-        tag = f"{k[0]}/{k[1]}"
+        tag = f"{k[0]}/{k[1]}/{k[2]}/{'adapt' if k[3] else 'static'}"
         if old is None:
             print(f"[perf-delta] {tag}: no checked-in baseline ({path}); "
-                  "first entry for this (tool, data_mode)")
+                  "first entry for this (tool, data_mode, placement, adapt)")
             continue
         old_eps = old.get("events_per_sec", 0)
         new_eps = new.get("events_per_sec", 0)

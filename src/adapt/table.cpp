@@ -1,0 +1,224 @@
+// AdaptiveTable: the selection-table text format extended with a
+// contention-level dimension (docs/MODEL.md §12).
+#include "adapt/adapt.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/selection.hpp"
+#include "util/error.hpp"
+
+namespace dpml::adapt {
+
+namespace {
+
+constexpr std::size_t kCatchAll = std::numeric_limits<std::size_t>::max();
+
+// Persist leaders/pipeline_k exactly when the registered descriptor honours
+// them (same rule as core::SelectionTable::serialize).
+bool persists_params(coll::CollKind kind, const std::string& algo) {
+  const coll::CollDescriptor* d =
+      coll::CollRegistry::instance().find(kind, algo);
+  return d != nullptr && d->caps.uses_leaders;
+}
+
+}  // namespace
+
+AdaptiveTable::AdaptiveTable(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  validate();
+}
+
+void AdaptiveTable::validate() const {
+  // Per (kind, level): thresholds strictly ascending, catch-all present and
+  // last. Pairs may interleave freely in the entry list.
+  for (const Entry& probe : entries_) {
+    DPML_CHECK_MSG(probe.level >= 0 && probe.level < kLevels,
+                   "adaptive table level out of range [0, " +
+                       std::to_string(kLevels) + "): " +
+                       std::to_string(probe.level));
+  }
+  for (coll::CollKind kind : coll::kAllCollKinds) {
+    for (int level = 0; level < kLevels; ++level) {
+      const Entry* last = nullptr;
+      std::size_t prev = 0;
+      bool first = true;
+      for (const Entry& e : entries_) {
+        if (e.kind != kind || e.level != level) continue;
+        if (last != nullptr) {
+          DPML_CHECK_MSG(last->max_bytes != kCatchAll,
+                         "catch-all entry must be last per (kind, level)");
+          DPML_CHECK_MSG(first || last->max_bytes > prev,
+                         "adaptive thresholds must be strictly ascending "
+                         "per (kind, level)");
+          prev = last->max_bytes;
+          first = false;
+        }
+        last = &e;
+      }
+      if (last != nullptr) {
+        DPML_CHECK_MSG(last->max_bytes == kCatchAll,
+                       "every populated (kind, level) needs a catch-all "
+                       "entry");
+      }
+    }
+  }
+}
+
+AdaptiveTable AdaptiveTable::defaults() {
+  std::vector<Entry> entries;
+  // Channel ladder for congested allreduce jobs: under max-min fair sharing
+  // a job's aggregate share of a contended link grows with its concurrent
+  // flow count, so rising contention buys more cring channels. No level-0
+  // entries: a quiet fabric keeps the job's static plan.
+  const int ladder[kLevels] = {0, 2, 4, 8};
+  for (int level = 1; level < kLevels; ++level) {
+    Entry e;
+    e.kind = coll::CollKind::allreduce;
+    e.level = level;
+    e.max_bytes = kCatchAll;
+    e.spec.algo = "cring";
+    e.spec.leaders = ladder[level];
+    e.spec.pipeline_k = 1;
+    entries.push_back(e);
+  }
+  return AdaptiveTable(std::move(entries));
+}
+
+AdaptiveTable AdaptiveTable::from_selection(const core::SelectionTable& table) {
+  std::vector<Entry> entries;
+  for (const core::SelectionTable::Entry& s : table.entries()) {
+    Entry e;
+    e.kind = s.kind;
+    e.level = 0;
+    e.max_bytes = s.max_bytes;
+    e.spec = s.spec;
+    entries.push_back(e);
+  }
+  return AdaptiveTable(std::move(entries));
+}
+
+AdaptiveTable AdaptiveTable::parse(const std::string& text) {
+  std::vector<Entry> entries;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank line
+    Entry e;
+    // Optional leading collective kind (bare lines are allreduce, the
+    // legacy convention).
+    if (coll::is_coll_kind_name(tok)) {
+      e.kind = coll::coll_kind_by_name(tok);
+      DPML_CHECK_MSG(static_cast<bool>(ls >> tok),
+                     "adaptive entry missing size bound: " + line);
+    }
+    // Optional contention-level qualifier; plain lines are level 0, so
+    // legacy selection tables parse unchanged.
+    if (tok.rfind("@c", 0) == 0) {
+      const std::string digits = tok.substr(2);
+      DPML_CHECK_MSG(!digits.empty() &&
+                         digits.find_first_not_of("0123456789") ==
+                             std::string::npos,
+                     "bad contention qualifier (want @c<level>): " + tok);
+      e.level = std::stoi(digits);
+      DPML_CHECK_MSG(static_cast<bool>(ls >> tok),
+                     "adaptive entry missing size bound: " + line);
+    }
+    if (tok == "*") {
+      e.max_bytes = kCatchAll;
+    } else {
+      DPML_CHECK_MSG(tok.rfind("<=", 0) == 0,
+                     "adaptive entry must bound size with '<=' or '*': " +
+                         tok);
+      e.max_bytes = std::stoull(tok.substr(2));
+    }
+    std::string algo;
+    DPML_CHECK_MSG(static_cast<bool>(ls >> algo),
+                   "adaptive entry missing algorithm: " + line);
+    e.spec.algo = coll::CollRegistry::instance().at(e.kind, algo).name;
+    int leaders = 0;
+    if (ls >> leaders) {
+      e.spec.leaders = leaders;
+      int k = 0;
+      if (ls >> k) e.spec.pipeline_k = k;
+    }
+    entries.push_back(e);
+  }
+  return AdaptiveTable(std::move(entries));
+}
+
+std::string AdaptiveTable::serialize() const {
+  std::ostringstream os;
+  // The banner names the extension, so emit it only when the extension is
+  // used: level-0-only tables serialize as plain legacy selection tables.
+  bool leveled = false;
+  for (const Entry& e : entries_) leveled = leveled || e.level != 0;
+  if (leveled) {
+    os << "# dpml adaptive selection table (@cN = contention level)\n";
+  }
+  for (const Entry& e : entries_) {
+    if (e.kind != coll::CollKind::allreduce) {
+      os << coll::coll_kind_name(e.kind) << " ";
+    }
+    // Level 0 serializes without a qualifier, so level-0-only tables
+    // round-trip in the legacy selection-table format.
+    if (e.level != 0) os << "@c" << e.level << " ";
+    if (e.max_bytes == kCatchAll) {
+      os << "*";
+    } else {
+      os << "<=" << e.max_bytes;
+    }
+    os << "  " << e.spec.algo;
+    if (persists_params(e.kind, e.spec.algo)) {
+      os << " " << e.spec.leaders << " " << e.spec.pipeline_k;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+const AdaptiveTable::Entry* AdaptiveTable::select(coll::CollKind kind,
+                                                  std::size_t bytes,
+                                                  int level) const {
+  if (level >= kLevels) level = kLevels - 1;
+  for (int lv = level; lv >= 0; --lv) {
+    const Entry* catch_all = nullptr;
+    for (const Entry& e : entries_) {
+      if (e.kind != kind || e.level != lv) continue;
+      if (bytes <= e.max_bytes) return &e;
+      catch_all = &e;
+    }
+    // validate() guarantees a populated (kind, level) ends with a
+    // catch-all, so reaching here with entries seen means bytes matched
+    // nothing only if the level is unpopulated.
+    if (catch_all != nullptr) return catch_all;
+  }
+  return nullptr;
+}
+
+void AdaptiveTable::record(coll::CollKind kind, int level,
+                           const coll::CollSpec& spec) {
+  DPML_CHECK_MSG(level >= 0 && level < kLevels,
+                 "record: level out of range");
+  for (Entry& e : entries_) {
+    if (e.kind == kind && e.level == level && e.max_bytes == kCatchAll) {
+      e.spec = spec;
+      e.spec.fabric = nullptr;  // tables are machine-independent
+      return;
+    }
+  }
+  Entry e;
+  e.kind = kind;
+  e.level = level;
+  e.max_bytes = kCatchAll;
+  e.spec = spec;
+  e.spec.fabric = nullptr;
+  entries_.push_back(e);
+}
+
+}  // namespace dpml::adapt

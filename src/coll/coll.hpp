@@ -82,6 +82,11 @@ sim::CoTask<void> copy_in(const CollArgs& a);
 sim::CoTask<void> allreduce_recursive_doubling(CollArgs a);
 sim::CoTask<void> allreduce_reduce_scatter_allgather(CollArgs a);
 sim::CoTask<void> allreduce_ring(CollArgs a);
+// Ring with `channels` concurrent chunk-rings in lockstep (registered as
+// "cring"; CollSpec::leaders is the channel count). More channels buy a
+// larger aggregate max-min share on congested links at the cost of extra
+// per-message overheads — the adaptive re-planner's lever (docs/MODEL.md §12).
+sim::CoTask<void> allreduce_ring_channels(CollArgs a, int channels);
 sim::CoTask<void> allreduce_binomial(CollArgs a);
 // Naive gather+reduce+bcast at comm rank 0 (reference baseline).
 sim::CoTask<void> allreduce_gather_bcast(CollArgs a);

@@ -6,6 +6,7 @@
 // reference. They serve three roles in this reproduction: (1) the paper's
 // baselines, (2) the inter-node phase-3 building block of DPML, and (3)
 // correctness cross-checks for each other.
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -27,6 +28,11 @@ int floor_pow2(int p) {
 // Tag layout within one collective invocation: each algorithm uses
 // [tag_base, tag_base + 128) and steps stay well below 128.
 constexpr int kEpilogueTag = 120;
+
+// Channel cap for the multi-channel ring: channel k uses tags tag_base + k
+// (reduce-scatter) and tag_base + 64 + k (allgather), so 16 stays well
+// inside the tag budget.
+constexpr int kMaxRingChannels = 16;
 
 // Exchange full vectors with `partner` and fold the incoming one into
 // a.recv. `partner_left` says the partner's contribution covers comm ranks
@@ -286,6 +292,120 @@ sim::CoTask<void> allreduce_ring(CollArgs a) {
   }
 }
 
+sim::CoTask<void> allreduce_ring_channels(CollArgs a, int channels) {
+  a.check();
+  // Same operand-order limitation as the plain ring: fall back for
+  // non-commutative ops.
+  if (!a.op.commutative()) {
+    co_await allreduce_recursive_doubling(std::move(a));
+    co_return;
+  }
+  Rank& r = *a.rank;
+  const Comm& c = *a.comm;
+  const int me = c.rank_of_world(r.world_rank());
+  if (me < 0) co_return;
+  co_await copy_in(a);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const int nch = std::max(1, std::min(channels, kMaxRingChannels));
+  const std::size_t esize = simmpi::dtype_size(a.dt);
+
+  // The vector splits into `nch` channel sub-vectors, each running its own
+  // ring allreduce; every step posts all channel receives, then all channel
+  // sends, so up to `nch` flows per rank are on the wire concurrently. Under
+  // max-min fair sharing a job's aggregate link share grows with its
+  // concurrent flow count, so extra channels buy bandwidth back from
+  // background traffic — at the cost of nch per-message overheads per step
+  // (the adaptive layer's trade-off; docs/MODEL.md §12).
+  struct Chan {
+    Part range;           // element range of this channel's sub-vector
+    std::size_t tmp_off;  // scratch offset for the in-flight block
+  };
+  std::vector<Chan> ch(static_cast<std::size_t>(nch));
+  std::size_t tmp_bytes = 0;
+  for (int k = 0; k < nch; ++k) {
+    ch[static_cast<std::size_t>(k)].range = partition(a.count, nch, k);
+    ch[static_cast<std::size_t>(k)].tmp_off = tmp_bytes;
+    const Part max_part =
+        partition(ch[static_cast<std::size_t>(k)].range.count, p, 0);
+    tmp_bytes += max_part.count * esize;
+  }
+  auto tmp_store = a.scratch(tmp_bytes);
+  MutBytes tmp{tmp_store};
+
+  const int right = (me + 1) % p;
+  const int left = (me + p - 1) % p;
+
+  // Phase 1: reduce-scatter, all channels in lockstep per ring step.
+  for (int s = 0; s < p - 1; ++s) {
+    std::vector<simmpi::RecvHandle> recvs;
+    std::vector<std::shared_ptr<sim::Flag>> sends;
+    recvs.reserve(static_cast<std::size_t>(nch));
+    sends.reserve(static_cast<std::size_t>(nch));
+    for (int k = 0; k < nch; ++k) {
+      const Chan& cc = ch[static_cast<std::size_t>(k)];
+      const Part take = partition(cc.range.count, p, (me - s - 1 + p * 2) % p);
+      recvs.push_back(r.irecv(c, left, a.tag_base + k, take.count * esize,
+                              sub(tmp, cc.tmp_off, take.count * esize)));
+    }
+    for (int k = 0; k < nch; ++k) {
+      const Chan& cc = ch[static_cast<std::size_t>(k)];
+      const Part give = partition(cc.range.count, p, (me - s + p) % p);
+      sends.push_back(
+          r.isend(c, right, a.tag_base + k, give.count * esize,
+                  sub(as_const(a.recv), (cc.range.offset + give.offset) * esize,
+                      give.count * esize)));
+    }
+    std::size_t fold_bytes = 0;
+    for (int k = 0; k < nch; ++k) {
+      co_await recvs[static_cast<std::size_t>(k)].done->wait();
+      fold_bytes +=
+          partition(ch[static_cast<std::size_t>(k)].range.count, p,
+                    (me - s - 1 + p * 2) % p)
+              .count *
+          esize;
+    }
+    co_await sim::wait_all(std::move(sends));
+    co_await r.reduce_compute(fold_bytes);
+    for (int k = 0; k < nch; ++k) {
+      const Chan& cc = ch[static_cast<std::size_t>(k)];
+      const Part take = partition(cc.range.count, p, (me - s - 1 + p * 2) % p);
+      a.op.apply(a.dt, take.count,
+                 sub(a.recv, (cc.range.offset + take.offset) * esize,
+                     take.count * esize),
+                 sub(as_const(tmp), cc.tmp_off, take.count * esize));
+    }
+  }
+
+  // Phase 2: allgather, all channels in lockstep per ring step.
+  for (int s = 0; s < p - 1; ++s) {
+    std::vector<simmpi::RecvHandle> recvs;
+    std::vector<std::shared_ptr<sim::Flag>> sends;
+    recvs.reserve(static_cast<std::size_t>(nch));
+    sends.reserve(static_cast<std::size_t>(nch));
+    for (int k = 0; k < nch; ++k) {
+      const Chan& cc = ch[static_cast<std::size_t>(k)];
+      const Part take = partition(cc.range.count, p, (me - s + p) % p);
+      recvs.push_back(
+          r.irecv(c, left, a.tag_base + 64 + k, take.count * esize,
+                  sub(a.recv, (cc.range.offset + take.offset) * esize,
+                      take.count * esize)));
+    }
+    for (int k = 0; k < nch; ++k) {
+      const Chan& cc = ch[static_cast<std::size_t>(k)];
+      const Part give = partition(cc.range.count, p, (me + 1 - s + p * 2) % p);
+      sends.push_back(
+          r.isend(c, right, a.tag_base + 64 + k, give.count * esize,
+                  sub(as_const(a.recv), (cc.range.offset + give.offset) * esize,
+                      give.count * esize)));
+    }
+    for (int k = 0; k < nch; ++k) {
+      co_await recvs[static_cast<std::size_t>(k)].done->wait();
+    }
+    co_await sim::wait_all(std::move(sends));
+  }
+}
+
 sim::CoTask<void> allreduce_binomial(CollArgs a) {
   a.check();
   Rank& r = *a.rank;
@@ -387,6 +507,18 @@ const CollRegistration reg_rd{flat_desc("rd", allreduce_recursive_doubling)};
 const CollRegistration reg_rsa{
     flat_desc("rsa", allreduce_reduce_scatter_allgather)};
 const CollRegistration reg_ring{flat_desc("ring", allreduce_ring)};
+// Multi-channel ring: `leaders` is the concurrent channel count. Works on
+// any sub-communicator (not world_only) and is deliberately not part of the
+// default tuning sweep — the adaptive re-planning layer (src/adapt/) selects
+// its channel count from observed congestion instead.
+const CollRegistration reg_cring{{
+    "cring",
+    CollKind::allreduce,
+    CollCaps{.uses_leaders = true},
+    [](CollArgs a, const CollSpec& s) {
+      return allreduce_ring_channels(std::move(a), s.leaders);
+    },
+}};
 const CollRegistration reg_binomial{flat_desc("binomial", allreduce_binomial)};
 const CollRegistration reg_gather_bcast{
     flat_desc("gather-bcast", allreduce_gather_bcast)};

@@ -300,7 +300,11 @@ sim::CoTask<void> run_collective(CollKind kind, coll::CollArgs args,
   }
 
   CollSpec s = spec;
-  if (d.caps.uses_leaders && s.leaders > m.ppn()) {
+  // Hierarchical (world_only) designs spawn `leaders` processes per node, so
+  // more than ppn is meaningless; flat leader-parameterized designs (e.g. the
+  // multi-channel ring, where leaders = concurrent channels) are not bound by
+  // ppn and clamp internally.
+  if (d.caps.uses_leaders && d.caps.world_only && s.leaders > m.ppn()) {
     warn_leader_clamp(kind, d.name, s.leaders, m.ppn());
     s.leaders = m.ppn();
   }

@@ -192,6 +192,7 @@ void FlowFabric::set_way_down(int leaf, int way, bool down) {
   }
   recompute(now);
   reschedule(now);
+  if (failure_cb_) failure_cb_(leaf, way, down);
 }
 
 bool FlowFabric::way_down(int leaf, int way) const {
@@ -226,6 +227,18 @@ double FlowFabric::link_group_bytes(int link, int group) const {
   if (link < 0 || static_cast<std::size_t>(link) >= row.size()) return 0.0;
   return row[static_cast<std::size_t>(link)];
 }
+
+double FlowFabric::link_total_bytes(int link) const {
+  double total = 0.0;
+  for (const auto& row : group_bytes_) {
+    if (link >= 0 && static_cast<std::size_t>(link) < row.size()) {
+      total += row[static_cast<std::size_t>(link)];
+    }
+  }
+  return total;
+}
+
+int FlowFabric::down_ways() const { return down_links_ / 2; }
 
 FlowFabric::FlowId FlowFabric::start_flow(int src_node, int dst_node,
                                           std::uint64_t bytes,
@@ -480,6 +493,11 @@ void FlowFabric::schedule_reallocations(const std::vector<sim::Time>& times) {
 void FlowFabric::set_congestion_listener(
     std::function<void(int, sim::Time, sim::Time)> fn) {
   congestion_cb_ = std::move(fn);
+}
+
+void FlowFabric::set_failure_listener(
+    std::function<void(int, int, bool)> fn) {
+  failure_cb_ = std::move(fn);
 }
 
 void FlowFabric::finish(sim::Time now) {

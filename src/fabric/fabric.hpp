@@ -114,6 +114,12 @@ class FlowFabric {
   static constexpr int kAllLeaves = -1;
   void set_way_down(int leaf, int way, bool down);
   bool way_down(int leaf, int way) const;
+  // Failure listener: called from inside set_way_down (after the flip and
+  // deterministic reroute) with the event's (leaf, way, down). The adaptive
+  // re-planner uses it to mark tenant plans stale mid-run (docs/MODEL.md §12).
+  void set_failure_listener(std::function<void(int leaf, int way, bool down)> fn);
+  // ECMP ways currently down across all leaves (uplink+downlink pairs).
+  int down_ways() const;
 
   // ---- Tenant attribution ----
   // Flows carry a group id (a tenant job, or the background-traffic class);
@@ -128,6 +134,8 @@ class FlowFabric {
   // Bytes delivered over `link` on behalf of `group` (0 when accounting is
   // off or the pair is out of range).
   double link_group_bytes(int link, int group) const;
+  // Bytes delivered over `link` across every group (0 when accounting off).
+  double link_total_bytes(int link) const;
 
   // ---- Flows ----
   // Start a flow of `bytes` from src_node to dst_node, rate-capped at
@@ -226,6 +234,7 @@ class FlowFabric {
   std::vector<std::vector<double>> group_bytes_; // [group][link] delivered
   std::function<double(int, sim::Time)> capacity_scaler_;
   std::function<void(int, sim::Time, sim::Time)> congestion_cb_;
+  std::function<void(int, int, bool)> failure_cb_;
 };
 
 }  // namespace dpml::fabric

@@ -81,6 +81,26 @@ std::vector<std::pair<std::string, std::string>> params(
 
 }  // namespace
 
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::block:
+      return "block";
+    case Placement::round_robin:
+      return "round-robin";
+    case Placement::random:
+      return "random";
+  }
+  return "?";
+}
+
+Placement placement_by_name(const std::string& name) {
+  if (name == "block") return Placement::block;
+  if (name == "round-robin" || name == "rr") return Placement::round_robin;
+  if (name == "random") return Placement::random;
+  throw util::InvariantError("unknown placement '" + name +
+                             "'; valid: block, round-robin, random");
+}
+
 const char* matrix_name(Matrix m) {
   switch (m) {
     case Matrix::none:

@@ -23,6 +23,7 @@ namespace {
 // scheme (util/rng.hpp); perturb uses 1..3.
 constexpr std::uint64_t kPurposeStagger = 17;
 constexpr std::uint64_t kPurposeTraffic = 18;
+constexpr std::uint64_t kPurposePlacement = 19;
 
 // Open-loop background flow generator: one seeded arrival chain per source
 // node, injecting matrix-chosen point-to-point flows until stopped. Lives
@@ -134,6 +135,32 @@ struct JobState {
   int done_ranks = 0;
 };
 
+// Per-job adaptive re-planning state (shared run with adapt on only): the
+// Replanner state machine plus the byte counters that turn the fabric's
+// group accounting into per-window foreign-utilization signals.
+struct AdaptJob {
+  AdaptJob(const adapt::AdaptiveTable* table, coll::CollKind kind,
+           adapt::Plan static_plan, std::size_t bytes)
+      : rp(table, kind, std::move(static_plan), bytes) {}
+
+  adapt::Replanner rp;
+  std::vector<int> links;            // watched links (job edges + core ways)
+  std::vector<double> foreign_prev;  // foreign bytes per link at window start
+  sim::Time window_start = 0;
+};
+
+// Adaptive outcome of one job (echoed into JobStats / table recording).
+struct JobAdaptOut {
+  std::string final_algo;
+  int final_leaders = 0;
+  int replans = 0;
+  int max_level = 0;
+  // Last plan observed at each contention level (for table persistence).
+  std::vector<int> obs_levels;
+  std::vector<std::string> obs_algos;
+  std::vector<int> obs_leaders;
+};
+
 // One simulation outcome (the shared run, or job `only_job` running solo).
 struct RunOut {
   std::vector<double> start_us;
@@ -148,7 +175,93 @@ struct RunOut {
   std::uint64_t bg_flows = 0;
   std::string hot_link;
   double hot_link_bg_share = 0.0;
+  int shared_links = 0;
+  std::vector<JobAdaptOut> adapt;  // empty when adapt is off
 };
+
+// Node-to-job assignment under the placement policy: node_job[n] is the
+// owning job (-1 for unused nodes) and job_nodes[j] lists each job's nodes
+// in ascending node order (its rank order). A pure function of (jobs,
+// placement, seed), so the shared run and every solo baseline agree.
+struct PlacementMap {
+  std::vector<int> node_job;
+  std::vector<std::vector<int>> job_nodes;
+  std::vector<int> node_index_in_job;  // rank-block index within the job
+};
+
+PlacementMap place_jobs(const std::vector<JobSpec>& jobs, int total_nodes,
+                        Placement placement, std::uint64_t seed) {
+  const int njobs = static_cast<int>(jobs.size());
+  PlacementMap pm;
+  pm.node_job.assign(static_cast<std::size_t>(total_nodes), -1);
+  pm.job_nodes.resize(static_cast<std::size_t>(njobs));
+  pm.node_index_in_job.assign(static_cast<std::size_t>(total_nodes), -1);
+  switch (placement) {
+    case Placement::block: {
+      int base = 0;
+      for (int j = 0; j < njobs; ++j) {
+        for (int n = 0; n < jobs[static_cast<std::size_t>(j)].nodes; ++n) {
+          pm.node_job[static_cast<std::size_t>(base + n)] = j;
+        }
+        base += jobs[static_cast<std::size_t>(j)].nodes;
+      }
+      break;
+    }
+    case Placement::round_robin: {
+      // Deal nodes to jobs in rounds; a job drops out once it has its
+      // quota, so uneven mixes still fill every node exactly once.
+      std::vector<int> remaining(static_cast<std::size_t>(njobs));
+      for (int j = 0; j < njobs; ++j) {
+        remaining[static_cast<std::size_t>(j)] =
+            jobs[static_cast<std::size_t>(j)].nodes;
+      }
+      int cursor = 0;
+      for (int n = 0; n < total_nodes; ++n) {
+        int tried = 0;
+        while (remaining[static_cast<std::size_t>(cursor)] == 0 &&
+               tried < njobs) {
+          cursor = (cursor + 1) % njobs;
+          ++tried;
+        }
+        pm.node_job[static_cast<std::size_t>(n)] = cursor;
+        --remaining[static_cast<std::size_t>(cursor)];
+        cursor = (cursor + 1) % njobs;
+      }
+      break;
+    }
+    case Placement::random: {
+      // Seeded Fisher-Yates shuffle of the node ids, then block-assign over
+      // the shuffled order.
+      std::vector<int> perm(static_cast<std::size_t>(total_nodes));
+      for (int n = 0; n < total_nodes; ++n) {
+        perm[static_cast<std::size_t>(n)] = n;
+      }
+      util::SplitMix64 r(seed, kPurposePlacement);
+      for (int n = total_nodes - 1; n > 0; --n) {
+        const int k = static_cast<int>(
+            r.next_below(static_cast<std::uint64_t>(n + 1)));
+        std::swap(perm[static_cast<std::size_t>(n)],
+                  perm[static_cast<std::size_t>(k)]);
+      }
+      int at = 0;
+      for (int j = 0; j < njobs; ++j) {
+        for (int n = 0; n < jobs[static_cast<std::size_t>(j)].nodes; ++n) {
+          pm.node_job[static_cast<std::size_t>(perm[static_cast<std::size_t>(
+              at++)])] = j;
+        }
+      }
+      break;
+    }
+  }
+  for (int n = 0; n < total_nodes; ++n) {
+    const int j = pm.node_job[static_cast<std::size_t>(n)];
+    if (j < 0) continue;
+    pm.node_index_in_job[static_cast<std::size_t>(n)] =
+        static_cast<int>(pm.job_nodes[static_cast<std::size_t>(j)].size());
+    pm.job_nodes[static_cast<std::size_t>(j)].push_back(n);
+  }
+  return pm;
+}
 
 std::size_t job_count(const JobSpec& j) {
   // Element count for the collective call; alltoall interprets bytes as the
@@ -171,12 +284,60 @@ struct RankCtx {
   sharp::SharpFabric* sf = nullptr;
   sim::Engine* engine = nullptr;
   BgGen* bg = nullptr;
+  fabric::FlowFabric* ff = nullptr;
+  // Adaptive re-planning (shared run only; empty pointers when off).
+  std::vector<std::unique_ptr<AdaptJob>>* adapt = nullptr;
   bool shared = true;
   int only_job = -1;
   int ppn = 1;
   int active_jobs = 0;
   int jobs_done = 0;
+
+  AdaptJob* adapt_job(int j) const {
+    if (adapt == nullptr) return nullptr;
+    return (*adapt)[static_cast<std::size_t>(j)].get();
+  }
 };
+
+// Foreign (other jobs + background) delivered bytes on `link`, from the
+// fabric's per-(link, group) accounting.
+double foreign_bytes(const fabric::FlowFabric& ff, int link, int job) {
+  return ff.link_total_bytes(link) - ff.link_group_bytes(link, job);
+}
+
+// The deterministic re-plan point: runs in the LAST rank to arrive at an
+// iteration barrier, before arrive_and_wait releases the peers, so every
+// rank of the job reads the updated plan for this iteration. Quantizes the
+// window's observed signals to a contention level and lets the Replanner
+// re-select (algorithm, leaders) (docs/MODEL.md §12).
+void replan_job(const RankCtx& c, int j, const IterAgg& agg, int parties,
+                sim::Time now) {
+  AdaptJob& aj = *c.adapt_job(j);
+  const fabric::FlowFabric& ff = *c.ff;
+  adapt::Signals s;
+  const sim::Time win = now - aj.window_start;
+  if (win > 0) {
+    const double win_s = sim::to_us(win) * 1e-6;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < aj.links.size(); ++i) {
+      const int link = aj.links[i];
+      const double delta = foreign_bytes(ff, link, j) - aj.foreign_prev[i];
+      const double cap_bytes = ff.link_capacity_gbps(link) * 1e9 * win_s;
+      if (cap_bytes > 0.0) worst = std::max(worst, delta / cap_bytes);
+    }
+    s.foreign_util = worst;
+    const sim::Time stall =
+        static_cast<sim::Time>(parties) * agg.max - agg.sum;
+    s.stall_frac = static_cast<double>(stall) /
+                   (static_cast<double>(parties) * static_cast<double>(win));
+  }
+  s.degraded = ff.down_ways() > 0;
+  aj.rp.replan(s);
+  aj.window_start = now;
+  for (std::size_t i = 0; i < aj.links.size(); ++i) {
+    aj.foreign_prev[i] = foreign_bytes(ff, aj.links[i], j);
+  }
+}
 
 sim::CoTask<void> tenant_rank(simmpi::Rank& r, std::shared_ptr<RankCtx> c) {
   const int j = (*c->node_job)[static_cast<std::size_t>(r.node_id())];
@@ -194,6 +355,9 @@ sim::CoTask<void> tenant_rank(simmpi::Rank& r, std::shared_ptr<RankCtx> c) {
     agg.max = std::max(agg.max, now);
     if (agg.count == parties) {
       st.stall += static_cast<sim::Time>(parties) * agg.max - agg.sum;
+      if (c->adapt_job(j) != nullptr) {
+        replan_job(*c, j, agg, parties, now);
+      }
     }
     co_await (*c->barriers)[static_cast<std::size_t>(j)].arrive_and_wait();
     if (spec.sharp) {
@@ -208,8 +372,16 @@ sim::CoTask<void> tenant_rank(simmpi::Rank& r, std::shared_ptr<RankCtx> c) {
       args.dt = simmpi::Dtype::f32;
       args.op = simmpi::ReduceOp::sum;
       coll::CollSpec cspec;
-      cspec.algo = spec.algo;
-      cspec.leaders = spec.leaders;
+      const AdaptJob* aj = c->adapt_job(j);
+      if (aj != nullptr) {
+        // Every rank reads the plan the last arriver selected above (the
+        // barrier orders the write before these reads).
+        cspec.algo = aj->rp.plan().algo;
+        cspec.leaders = aj->rp.plan().leaders;
+      } else {
+        cspec.algo = spec.algo;
+        cspec.leaders = spec.leaders;
+      }
       co_await core::run_collective(spec.kind, args, cspec);
     }
   }
@@ -240,19 +412,11 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
   const bool tracing = shared && !opt.trace_json.empty();
   if (tracing) machine.enable_trace();
 
-  // Block placement: job j owns nodes [bases[j], bases[j] + nodes).
-  std::vector<int> bases(static_cast<std::size_t>(njobs), 0);
-  std::vector<int> node_job(static_cast<std::size_t>(total_nodes), -1);
-  {
-    int base = 0;
-    for (int j = 0; j < njobs; ++j) {
-      bases[static_cast<std::size_t>(j)] = base;
-      for (int n = 0; n < jobs[static_cast<std::size_t>(j)].nodes; ++n) {
-        node_job[static_cast<std::size_t>(base + n)] = j;
-      }
-      base += jobs[static_cast<std::size_t>(j)].nodes;
-    }
-  }
+  // Placement policy decides which nodes each job owns; the mapping is the
+  // same for the shared run and every solo baseline.
+  const PlacementMap pm =
+      place_jobs(jobs, total_nodes, opt.placement, opt.seed);
+  const std::vector<int>& node_job = pm.node_job;
 
   fabric::FlowFabric* ff = machine.flow_fabric();
   if (shared && ff != nullptr) {
@@ -278,9 +442,9 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
     const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
     const bool active = shared || j == only_job;
     std::vector<int> ranks;
-    for (int n = 0; n < spec.nodes; ++n) {
+    for (int n : pm.job_nodes[static_cast<std::size_t>(j)]) {
       for (int p = 0; p < ppn; ++p) {
-        ranks.push_back((bases[static_cast<std::size_t>(j)] + n) * ppn + p);
+        ranks.push_back(n * ppn + p);
       }
     }
     const int parties = static_cast<int>(ranks.size());
@@ -296,6 +460,38 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
     }
   }
 
+  // Adaptive re-planning state (shared run only): per-job Replanner plus
+  // the watched-link set — the job's edge links and the core ways of every
+  // leaf hosting one of its nodes (the links its flows can cross).
+  std::vector<std::unique_ptr<AdaptJob>> adapt_state;
+  const bool adapting = shared && opt.adapt && ff != nullptr;
+  if (adapting) {
+    adapt_state.resize(static_cast<std::size_t>(njobs));
+    const fabric::FabricTopo& topo = ff->topo();
+    for (int j = 0; j < njobs; ++j) {
+      const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
+      if (spec.sharp) continue;  // in-network jobs keep their fixed plan
+      auto aj = std::make_unique<AdaptJob>(&opt.table, spec.kind,
+                                           adapt::Plan{spec.algo, spec.leaders},
+                                           spec.bytes);
+      std::vector<char> leaf_seen(static_cast<std::size_t>(topo.leaves), 0);
+      for (int n : pm.job_nodes[static_cast<std::size_t>(j)]) {
+        aj->links.push_back(ff->uplink(n));
+        aj->links.push_back(ff->downlink(n));
+        leaf_seen[static_cast<std::size_t>(n / topo.nodes_per_leaf)] = 1;
+      }
+      for (int l = 0; l < topo.leaves; ++l) {
+        if (leaf_seen[static_cast<std::size_t>(l)] == 0) continue;
+        for (int w = 0; w < topo.ecmp_ways; ++w) {
+          aj->links.push_back(ff->leaf_uplink(l, w));
+          aj->links.push_back(ff->leaf_downlink(l, w));
+        }
+      }
+      aj->foreign_prev.assign(aj->links.size(), 0.0);
+      adapt_state[static_cast<std::size_t>(j)] = std::move(aj);
+    }
+  }
+
   // Seeded start stagger (shared run only; solo baselines start at 0 —
   // makespans are measured from each job's own start, so the stagger does
   // not bias the slowdown ratio).
@@ -307,6 +503,13 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
       util::SplitMix64 r(purpose, static_cast<std::uint64_t>(j));
       starts[static_cast<std::size_t>(j)] =
           sim::us(r.next_double() * opt.stagger_max_us);
+    }
+  }
+  for (int j = 0; j < njobs; ++j) {
+    if (adapting && adapt_state[static_cast<std::size_t>(j)] != nullptr) {
+      // The first observation window opens at the job's own start.
+      adapt_state[static_cast<std::size_t>(j)]->window_start =
+          starts[static_cast<std::size_t>(j)];
     }
   }
 
@@ -329,6 +532,17 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
         });
       }
     }
+    if (adapting) {
+      // Failure-triggered re-planning: a set_way_down observed mid-run
+      // marks every adaptive job's plan stale, so the next iteration
+      // barrier re-plans on the degraded (or recovered) fabric even when
+      // the classified level did not move.
+      ff->set_failure_listener([&adapt_state](int, int, bool) {
+        for (auto& aj : adapt_state) {
+          if (aj != nullptr) aj->rp.mark_stale();
+        }
+      });
+    }
   }
 
   auto ctx = std::make_shared<RankCtx>();
@@ -342,6 +556,8 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
   ctx->sf = sf.get();
   ctx->engine = &engine;
   ctx->bg = bg.get();
+  ctx->ff = ff;
+  ctx->adapt = adapting ? &adapt_state : nullptr;
   ctx->shared = shared;
   ctx->only_job = only_job;
   ctx->ppn = ppn;
@@ -393,6 +609,36 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
         }
         out.hot_link_bg_share = ff->link_group_bytes(hot, njobs) / total;
       }
+      // Placement witness: links carrying bytes from >= 2 distinct jobs
+      // (background excluded).
+      for (int l = 0; l < ff->num_links(); ++l) {
+        int owners = 0;
+        for (int g = 0; g < njobs; ++g) {
+          if (ff->link_group_bytes(l, g) > 0.0) ++owners;
+        }
+        if (owners >= 2) ++out.shared_links;
+      }
+    }
+  }
+  if (adapting) {
+    out.adapt.resize(static_cast<std::size_t>(njobs));
+    for (int j = 0; j < njobs; ++j) {
+      JobAdaptOut& ao = out.adapt[static_cast<std::size_t>(j)];
+      const AdaptJob* aj = adapt_state[static_cast<std::size_t>(j)].get();
+      if (aj == nullptr) {
+        ao.final_algo = "sharp";  // only SHArP jobs skip adaptation
+        continue;
+      }
+      ao.final_algo = aj->rp.plan().algo;
+      ao.final_leaders = aj->rp.plan().leaders;
+      ao.replans = aj->rp.replans();
+      ao.max_level = aj->rp.max_level();
+      for (int level = 0; level < adapt::kLevels; ++level) {
+        if (!aj->rp.observed(level)) continue;
+        ao.obs_levels.push_back(level);
+        ao.obs_algos.push_back(aj->rp.observed_plan(level).algo);
+        ao.obs_leaders.push_back(aj->rp.observed_plan(level).leaders);
+      }
     }
   }
 
@@ -403,7 +649,8 @@ RunOut simulate(const net::ClusterConfig& cfg, int ppn,
       if (j < 0) continue;
       for (int p = 0; p < ppn; ++p) {
         const int w = n * ppn + p;
-        const int jr = (n - bases[static_cast<std::size_t>(j)]) * ppn + p;
+        const int jr =
+            pm.node_index_in_job[static_cast<std::size_t>(n)] * ppn + p;
         machine.tracer().set_thread_name(
             w, jobs[static_cast<std::size_t>(j)].name + " rank " +
                    std::to_string(jr) + " (node " + std::to_string(n) + ")");
@@ -462,6 +709,34 @@ void validate(const net::ClusterConfig& cfg, int ppn,
                      opt.fabric == fabric::FabricLevel::links,
                  "--bg-traffic and --fail-links need the flow fabric "
                  "(--fabric)");
+  DPML_CHECK_MSG(!opt.adapt || opt.fabric == fabric::FabricLevel::links,
+                 "--adapt consumes fabric congestion signals and needs the "
+                 "flow fabric (--fabric)");
+  if (opt.adapt) {
+    // Every plan the table could hand a job must be runnable on that job's
+    // sub-communicator; failing here beats an InvariantError deep inside a
+    // re-planned iteration.
+    for (const JobSpec& j : jobs) {
+      if (j.sharp) continue;
+      for (int level = 0; level < adapt::kLevels; ++level) {
+        const adapt::AdaptiveTable::Entry* e =
+            opt.table.select(j.kind, j.bytes, level);
+        if (e == nullptr) continue;
+        const coll::CollDescriptor& d =
+            coll::CollRegistry::instance().at(j.kind, e->spec.algo);
+        DPML_CHECK_MSG(!d.caps.world_only && !d.caps.needs_fabric,
+                       "adaptive table entry '" + e->spec.algo + "' (level " +
+                           std::to_string(level) +
+                           ") is not sub-communicator-safe");
+        DPML_CHECK_MSG(j.nodes * ppn >= d.caps.min_comm_size,
+                       "job '" + j.name + "' is too small for adaptive "
+                           "table entry '" + e->spec.algo + "'");
+        DPML_CHECK_MSG(e->spec.leaders >= 1,
+                       "adaptive table entry '" + e->spec.algo +
+                           "' needs leaders >= 1");
+      }
+    }
+  }
   if (!opt.traffic.empty()) {
     DPML_CHECK_MSG(total_nodes >= 2,
                    "background traffic needs at least two nodes");
@@ -471,11 +746,14 @@ void validate(const net::ClusterConfig& cfg, int ppn,
       // co-located jobs starve — the run would never terminate.
       const double hot_demand = opt.traffic.load * opt.traffic.hot_frac *
                                 static_cast<double>(total_nodes - 1);
+      // Demand exactly at capacity is marginally stable (the open-loop
+      // arrival rate equals the drain rate), so equality is accepted; only
+      // strictly oversubscribed hot links diverge.
       DPML_CHECK_MSG(
-          hot_demand < 1.0,
+          hot_demand <= 1.0,
           "hotspot background overloads the hot node's edge link: load * "
           "hot_frac * (nodes - 1) = " + std::to_string(hot_demand) +
-              " >= 1; lower load or hot_frac");
+              " > 1; lower load or hot_frac");
       DPML_CHECK_MSG(opt.traffic.hot_node < total_nodes,
                      "hotspot hot_node out of range");
     }
@@ -527,6 +805,7 @@ TenantResult run_tenants(const net::ClusterConfig& cfg, int ppn,
   res.bg_flows = sh.bg_flows;
   res.hot_link = sh.hot_link;
   res.hot_link_bg_share = sh.hot_link_bg_share;
+  res.shared_links = sh.shared_links;
   for (int j = 0; j < njobs; ++j) {
     const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
     JobStats s;
@@ -546,6 +825,16 @@ TenantResult run_tenants(const net::ClusterConfig& cfg, int ppn,
     }
     s.stall_us = sh.stall_us[static_cast<std::size_t>(j)];
     s.link_share = sh.link_share[static_cast<std::size_t>(j)];
+    if (!sh.adapt.empty()) {
+      const JobAdaptOut& ao = sh.adapt[static_cast<std::size_t>(j)];
+      s.final_algo = ao.final_algo;
+      s.final_leaders = ao.final_leaders;
+      s.replans = ao.replans;
+      s.max_level = ao.max_level;
+    } else {
+      s.final_algo = s.algo;
+      s.final_leaders = spec.sharp ? 0 : spec.leaders;
+    }
     if (opt.solo_baseline) {
       const RunOut& solo = outs[static_cast<std::size_t>(1 + j)];
       s.solo_us = solo.end_us[static_cast<std::size_t>(j)] -
@@ -553,6 +842,25 @@ TenantResult run_tenants(const net::ClusterConfig& cfg, int ppn,
       if (s.solo_us > 0.0) s.slowdown = s.makespan_us / s.solo_us;
     }
     res.jobs.push_back(std::move(s));
+  }
+  if (opt.adapt) {
+    // The persisted feedback loop: fold every observed (kind, level) choice
+    // back into the input table and hand the result to the caller
+    // (dpmlsim --adapt-table writes it to disk).
+    adapt::AdaptiveTable updated = opt.table;
+    for (int j = 0; j < njobs; ++j) {
+      if (sh.adapt.empty()) break;
+      const JobAdaptOut& ao = sh.adapt[static_cast<std::size_t>(j)];
+      const JobSpec& spec = jobs[static_cast<std::size_t>(j)];
+      if (spec.sharp) continue;
+      for (std::size_t i = 0; i < ao.obs_levels.size(); ++i) {
+        coll::CollSpec cs;
+        cs.algo = ao.obs_algos[i];
+        cs.leaders = ao.obs_leaders[i];
+        updated.record(spec.kind, ao.obs_levels[i], cs);
+      }
+    }
+    res.adapt_table = updated.serialize();
   }
   return res;
 }

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt.hpp"
 #include "coll/registry.hpp"
 #include "fabric/fabric.hpp"
 #include "net/cluster.hpp"
@@ -33,6 +34,17 @@
 #include "sim/dataplane.hpp"
 
 namespace dpml::tenant {
+
+// Node-to-job placement policy. `block` gives each job a contiguous node
+// range (PR 9's only policy — under which disjoint jobs share no links on
+// these topologies); `round_robin` deals nodes to jobs in rounds, and
+// `random` assigns a seeded shuffle, both of which interleave jobs within
+// leaves so their cross-leaf traffic genuinely contends on shared links.
+enum class Placement { block, round_robin, random };
+
+const char* placement_name(Placement p);
+// Throws util::InvariantError listing the valid names.
+Placement placement_by_name(const std::string& name);
 
 // Background traffic matrix: which (src, dst) pairs the generator draws.
 enum class Matrix { none, uniform, permutation, hotspot };
@@ -119,6 +131,13 @@ struct TenantOptions {
   bool solo_baseline = true;       // run each job alone for slowdown
   int jobs = 0;                    // host threads (0 = core::default_jobs())
   std::string trace_json;          // Chrome trace of the shared run
+  Placement placement = Placement::block;
+  // Congestion-aware re-planning (docs/MODEL.md §12): between iterations
+  // each non-SHArP job's observed signals re-select (algorithm, leaders)
+  // through `table`. Applies to the shared run only — solo baselines stay
+  // the static reference. Requires fabric == links.
+  bool adapt = false;
+  adapt::AdaptiveTable table = adapt::AdaptiveTable::defaults();
 };
 
 struct JobStats {
@@ -137,6 +156,11 @@ struct JobStats {
   double slowdown = 0.0;           // makespan / solo (0 when disabled)
   double stall_us = 0.0;           // summed early-arriver wait at barriers
   double link_share = 0.0;         // fraction of hottest-link bytes
+  // Adaptive re-planning outcome (static plan echoed when adapt is off).
+  std::string final_algo;          // plan after the last re-plan point
+  int final_leaders = 0;
+  int replans = 0;                 // times the plan actually changed
+  int max_level = 0;               // worst contention level classified
 };
 
 struct TenantResult {
@@ -149,6 +173,12 @@ struct TenantResult {
   std::uint64_t bg_flows = 0;      // of which background
   std::string hot_link;            // busiest link's name
   double hot_link_bg_share = 0.0;  // background's byte share on it
+  // Links whose delivered bytes came from >= 2 distinct jobs (background
+  // excluded) — the witness that a placement actually shares links.
+  int shared_links = 0;
+  // When adapt is on: the input table with every observed (kind, level)
+  // choice recorded — the persisted feedback loop (dpmlsim --adapt-table).
+  std::string adapt_table;
 };
 
 // Run the tenant mix. `ppn` applies to every job. Validates shapes up

@@ -371,6 +371,21 @@ TEST(LintTree, FabricSubsystemIsCovered) {
   }
 }
 
+TEST(LintTree, AdaptSubsystemIsCovered) {
+  // The adaptive re-planning layer sits between the deterministic engine
+  // and the tenant feedback signals: a stray wall-clock or raw-random call
+  // here would silently break the bit-identical replay contract.
+  const auto files = dpml::lint::collect_sources({kRoot + "/src/adapt"});
+  ASSERT_GE(files.size(), 2u) << "src/adapt enumeration looks broken";
+  for (const std::string& f : files) {
+    const auto fs = dpml::lint::lint_file(f);
+    for (const Finding& v : fs) {
+      ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                    << v.message;
+    }
+  }
+}
+
 TEST(LintTree, WholeSourceTreeIsClean) {
   const auto files = dpml::lint::collect_sources({kRoot + "/src"});
   ASSERT_GT(files.size(), 50u) << "source enumeration looks broken";

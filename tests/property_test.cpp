@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "check/check.hpp"
 #include "coll/registry.hpp"
 #include "core/executor.hpp"
@@ -19,6 +21,7 @@
 #include "sharp/sharp.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/verify.hpp"
+#include "tenant/tenant.hpp"
 #include "util/rng.hpp"
 
 namespace dpml::core {
@@ -329,6 +332,140 @@ TEST(ExecutorProperty, RandomWorkloadsByteIdenticalAcrossJobCounts) {
     EXPECT_EQ(serial[i].end_time, wide[i].end_time) << what;
     EXPECT_EQ(serial[i].exact, wide[i].exact) << what;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized multi-tenant workloads (docs/MODEL.md §11-§12): seeded random
+// (job mix, placement policy, background load, adaptive on/off)
+// combinations must digest byte-identically across reruns and sweep-executor
+// widths — the determinism contract extended over the tenant + adapt layers.
+
+struct TenantWorkload {
+  std::vector<tenant::JobSpec> jobs;
+  tenant::TenantOptions opt;
+  std::string desc;
+};
+
+TenantWorkload random_tenant_workload(std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  // Sub-communicator-safe patterns only (world_only designs cannot run on a
+  // tenant slice).
+  struct Pick {
+    coll::CollKind kind;
+    const char* algo;
+  };
+  static const Pick kPicks[] = {
+      {coll::CollKind::allreduce, "ring"},
+      {coll::CollKind::allreduce, "rsa"},
+      {coll::CollKind::allreduce, "cring"},
+      {coll::CollKind::allgather, "ring"},
+      {coll::CollKind::reduce_scatter, "ring"},
+      {coll::CollKind::bcast, "binomial"},
+      {coll::CollKind::alltoall, "auto"},
+  };
+  static const tenant::Placement kPlacements[] = {
+      tenant::Placement::block, tenant::Placement::round_robin,
+      tenant::Placement::random};
+  static const double kLoads[] = {0.0, 0.2, 0.4};
+
+  TenantWorkload w;
+  const int njobs = static_cast<int>(2 + rng.next_below(2));  // 2..3
+  int budget = 8;
+  for (int j = 0; j < njobs; ++j) {
+    const Pick& p = kPicks[rng.next_below(std::size(kPicks))];
+    tenant::JobSpec s;
+    s.name = "j" + std::to_string(j);
+    s.kind = p.kind;
+    s.algo = p.algo;
+    // Leave 2 nodes for every job still to be drawn.
+    const int max_nodes = budget - 2 * (njobs - 1 - j);
+    s.nodes = static_cast<int>(
+        2 + rng.next_below(static_cast<std::uint64_t>(
+                std::max(1, max_nodes - 1))));
+    budget -= s.nodes;
+    s.bytes = std::size_t{4096} << rng.next_below(4);  // 4K..32K
+    s.leaders = p.algo == std::string("cring")
+                    ? static_cast<int>(2 + rng.next_below(3))
+                    : 1;
+    s.iterations = 2;
+    w.jobs.push_back(std::move(s));
+  }
+  w.opt.seed = seed;
+  w.opt.placement = kPlacements[rng.next_below(std::size(kPlacements))];
+  const double load = kLoads[rng.next_below(std::size(kLoads))];
+  if (load > 0.0) {
+    tenant::TrafficSpec t;
+    t.matrix = tenant::Matrix::uniform;
+    t.load = load;
+    t.bytes = 32768;
+    t.seed = seed;
+    w.opt.traffic = t;
+  }
+  w.opt.adapt = rng.next_below(2) == 1;  // both modes covered across seeds
+  w.desc = std::to_string(njobs) + " jobs, placement " +
+           tenant::placement_name(w.opt.placement) + ", load " +
+           std::to_string(load) + (w.opt.adapt ? ", adaptive" : ", static");
+  return w;
+}
+
+std::uint64_t tenant_digest(const tenant::TenantResult& r) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_d = [&](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  const auto mix_s = [&](const std::string& s) {
+    for (char c : s) mix(static_cast<std::uint64_t>(c));
+  };
+  mix_d(r.makespan_us);
+  mix(r.events);
+  mix(r.flows);
+  mix(r.bg_flows);
+  mix(static_cast<std::uint64_t>(r.shared_links));
+  mix_s(r.hot_link);
+  mix_s(r.adapt_table);
+  for (const tenant::JobStats& j : r.jobs) {
+    mix_d(j.start_us);
+    mix_d(j.makespan_us);
+    mix_d(j.solo_us);
+    mix_d(j.stall_us);
+    mix_s(j.final_algo);
+    mix(static_cast<std::uint64_t>(j.final_leaders));
+    mix(static_cast<std::uint64_t>(j.replans));
+    mix(static_cast<std::uint64_t>(j.max_level));
+  }
+  return h;
+}
+
+TEST(AdaptTenantProperty, RandomMixesByteIdenticalAcrossRerunsAndWidths) {
+  const net::ClusterConfig cfg = net::test_cluster(8);
+  bool saw_adapt = false;
+  bool saw_static = false;
+  for (std::uint64_t seed = 2000; seed < 2012; ++seed) {
+    TenantWorkload w = random_tenant_workload(seed);
+    saw_adapt = saw_adapt || w.opt.adapt;
+    saw_static = saw_static || !w.opt.adapt;
+    const std::string what = "seed " + std::to_string(seed) + ": " + w.desc;
+    w.opt.jobs = 1;
+    const std::uint64_t serial =
+        tenant_digest(tenant::run_tenants(cfg, 2, w.jobs, w.opt));
+    const std::uint64_t rerun =
+        tenant_digest(tenant::run_tenants(cfg, 2, w.jobs, w.opt));
+    EXPECT_EQ(serial, rerun) << what;
+    w.opt.jobs = 4;
+    const std::uint64_t wide =
+        tenant_digest(tenant::run_tenants(cfg, 2, w.jobs, w.opt));
+    EXPECT_EQ(serial, wide) << what;
+  }
+  // The seeded draw must exercise both selection modes.
+  EXPECT_TRUE(saw_adapt);
+  EXPECT_TRUE(saw_static);
 }
 
 }  // namespace

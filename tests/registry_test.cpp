@@ -35,12 +35,12 @@ bool has_name(const std::vector<std::string>& names, const std::string& n) {
 TEST(Registry, ListsEveryEnumEraAllreduceAlgorithm) {
   const auto names = CollRegistry::instance().names(CollKind::allreduce);
   for (const char* n :
-       {"rd", "rsa", "ring", "binomial", "gather-bcast", "single-leader",
-        "dpml", "sharp-node-leader", "sharp-socket-leader", "mvapich2",
-        "intelmpi", "dpml-auto"}) {
+       {"rd", "rsa", "ring", "cring", "binomial", "gather-bcast",
+        "single-leader", "dpml", "sharp-node-leader", "sharp-socket-leader",
+        "mvapich2", "intelmpi", "dpml-auto"}) {
     EXPECT_TRUE(has_name(names, n)) << "missing allreduce algorithm " << n;
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
 }
 
 TEST(Registry, ListsOtherCollectiveKinds) {

@@ -284,6 +284,34 @@ TEST(TenantValidateTest, RejectsBadMixes) {
                util::InvariantError);
 }
 
+TEST(TenantValidateTest, HotspotDemandExactlyAtCapacityIsAccepted) {
+  // Regression: the rejection boundary used `< 1.0`, so an open-loop hot
+  // demand of exactly 1.0 — load * hot_frac * (nodes - 1) at capacity,
+  // marginally stable — was rejected with a misleading ">= 1" message.
+  // 5 nodes, load 0.5, hot_frac 0.5: demand = 0.5 * 0.5 * 4 = 1.0 exactly.
+  const auto cfg = net::test_cluster(8);
+  tenant::JobSpec j;
+  j.name = "boundary";
+  j.kind = coll::CollKind::allreduce;
+  j.algo = "ring";
+  j.nodes = 5;
+  j.bytes = 16384;
+  j.iterations = 2;
+  tenant::TenantOptions at_capacity;
+  at_capacity.solo_baseline = false;
+  at_capacity.traffic =
+      tenant::TrafficSpec::parse("hotspot:load=0.5,hot_frac=0.5");
+  const auto r = tenant::run_tenants(cfg, 1, {j}, at_capacity);
+  EXPECT_GT(r.makespan_us, 0.0);
+  EXPECT_GT(r.bg_flows, 0u);
+  // Just past the boundary still throws.
+  tenant::TenantOptions over;
+  over.solo_baseline = false;
+  over.traffic = tenant::TrafficSpec::parse("hotspot:load=0.51,hot_frac=0.5");
+  EXPECT_THROW((void)tenant::run_tenants(cfg, 1, {j}, over),
+               util::InvariantError);
+}
+
 TEST(TenantValidateTest, DefaultJobsFitTheClusterAndPassValidation) {
   for (int count : {1, 2, 4}) {
     const auto cfg = net::test_cluster(8);

@@ -37,6 +37,7 @@
 #include "mc/explore.hpp"
 #include "mc/probes.hpp"
 #include "model/fit.hpp"
+#include "adapt/adapt.hpp"
 #include "perturb/spec.hpp"
 #include "net/cluster.hpp"
 #include "sim/dataplane.hpp"
@@ -124,6 +125,18 @@ int usage() {
       "              --stagger-us X --tenant-iters N --trace-json FILE\n"
       "                (tenant start-offset bound, per-job iteration\n"
       "                override, Chrome trace of the shared run)\n"
+      "              --placement block|round-robin|random  (tenant job-to-\n"
+      "                node mapping; round-robin/random interleave jobs so\n"
+      "                they share links even without oversubscription.\n"
+      "                Default: block)\n"
+      "              --adapt  (congestion-aware re-planning: between\n"
+      "                iterations each tenant job re-selects (algorithm,\n"
+      "                leaders) from a contention-keyed table driven by its\n"
+      "                observed foreign-traffic/stall/failure signals.\n"
+      "                Requires the link fabric. See docs/MODEL.md §12)\n"
+      "              --adapt-table FILE  (load the adaptive selection table\n"
+      "                from FILE if it exists, and write the run's updated\n"
+      "                table back — the offline/online feedback loop)\n"
       "              --list-algorithms  (print the collective registry)\n"
       "              --list-clusters  (print presets with derived fabric\n"
       "                link counts and capacities)\n"
@@ -708,6 +721,20 @@ int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
                        : tenant::FailSpec::parse(spec);
   }
   opt.trace_json = args.get("trace-json");
+  if (args.has("placement")) {
+    opt.placement = tenant::placement_by_name(args.get("placement", "block"));
+  }
+  opt.adapt = args.get_bool("adapt", false);
+  const std::string adapt_table_path = args.get("adapt-table");
+  if (!adapt_table_path.empty()) {
+    opt.adapt = true;
+    std::ifstream in(adapt_table_path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      opt.table = adapt::AdaptiveTable::parse(text.str());
+    }
+  }
   std::vector<tenant::JobSpec> jobs = tenant::default_jobs(njobs, cfg, nodes);
   if (args.has("tenant-iters")) {
     const int iters = static_cast<int>(args.get_int("tenant-iters", 4));
@@ -715,12 +742,18 @@ int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
   }
   const tenant::TenantResult r = tenant::run_tenants(cfg, ppn, jobs, opt);
 
-  util::Table t({"job", "kind", "algorithm", "nodes", "ranks", "bytes",
-                 "start (us)", "makespan (us)", "goodput (GB/s)", "solo (us)",
-                 "slowdown", "stall (us)", "hot-link share"});
+  std::vector<std::string> cols = {
+      "job", "kind", "algorithm", "nodes", "ranks", "bytes", "start (us)",
+      "makespan (us)", "goodput (GB/s)", "solo (us)", "slowdown", "stall (us)",
+      "hot-link share"};
+  if (opt.adapt) {
+    cols.push_back("final plan");
+    cols.push_back("replans");
+  }
+  util::Table t(cols);
   for (const tenant::JobStats& j : r.jobs) {
-    t.row()
-        .cell(j.name)
+    util::Table& row = t.row();
+    row.cell(j.name)
         .cell(j.kind)
         .cell(j.algo)
         .cell(static_cast<long long>(j.nodes))
@@ -733,9 +766,18 @@ int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
         .cell(j.slowdown, 3)
         .cell(j.stall_us, 2)
         .cell(j.link_share, 3);
+    if (opt.adapt) {
+      std::string plan = j.final_algo;
+      if (j.final_leaders > 1) {
+        plan += " x" + std::to_string(j.final_leaders);
+      }
+      row.cell(plan).cell(static_cast<long long>(j.replans));
+    }
   }
   std::cout << njobs << " tenant job(s) on cluster " << cfg.name << ", "
-            << nodes << " nodes x " << ppn << " ppn";
+            << nodes << " nodes x " << ppn << " ppn, placement "
+            << tenant::placement_name(opt.placement)
+            << (opt.adapt ? ", adaptive re-planning on" : "");
   if (!opt.traffic.empty()) {
     std::cout << "\nbackground: " << opt.traffic.to_string();
   }
@@ -752,7 +794,17 @@ int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
     std::cout << ", hottest link " << r.hot_link << " (bg share "
               << r.hot_link_bg_share << ")";
   }
-  std::cout << "\n";
+  std::cout << ", " << r.shared_links << " link(s) shared by >1 job\n";
+  if (!adapt_table_path.empty() && !r.adapt_table.empty()) {
+    std::ofstream os(adapt_table_path);
+    if (!os) {
+      std::cerr << "cannot write adapt table " << adapt_table_path << "\n";
+      return 1;
+    }
+    os << r.adapt_table;
+    std::cout << "adaptive selection table written to " << adapt_table_path
+              << "\n";
+  }
   const std::string perf_json = args.get("perf-json");
   if (!perf_json.empty()) {
     std::ofstream os(perf_json);
@@ -763,6 +815,9 @@ int cmd_tenants(const util::Args& args, const net::ClusterConfig& cfg,
     os << "{\n"
        << "  \"tool\": \"dpmlsim tenants\",\n"
        << "  \"tenants\": " << njobs << ",\n"
+       << "  \"placement\": \"" << tenant::placement_name(opt.placement)
+       << "\",\n"
+       << "  \"adapt\": " << (opt.adapt ? "true" : "false") << ",\n"
        << "  \"jobs\": " << core::default_jobs() << ",\n"
        << "  \"events\": " << r.events << ",\n"
        << "  \"makespan_us\": " << r.makespan_us << ",\n"
